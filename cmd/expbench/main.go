@@ -1,0 +1,209 @@
+// Command expbench regenerates the paper's evaluation: every figure and
+// table of Section 5, printed as plain-text tables whose rows/series match
+// what the paper plots.
+//
+// Usage:
+//
+//	expbench                 # run everything at full fidelity
+//	expbench -exp fig5       # one experiment (fig5..fig12, table2, appspec)
+//	expbench -quick          # reduced budgets (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"explink/internal/exp"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(exp.Options) (string, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig5", "latency vs link limit C (Mesh, HFB, OnlySA, D&C_SA, L_D, L_S)", func(o exp.Options) (string, error) {
+			r, err := exp.Fig5(o)
+			if err != nil {
+				return "", err
+			}
+			out := r.Render()
+			for _, h := range r.Headlines() {
+				out += fmt.Sprintf("headline %dx%d: %.1f%% vs Mesh, %.1f%% vs HFB, OnlySA +%.1f%%\n",
+					h.N, h.N, h.VsMesh, h.VsHFB, h.OnlySAOver)
+			}
+			return out, nil
+		}},
+		{"fig6", "per-PARSEC-benchmark latency on 8x8 (simulated)", func(o exp.Options) (string, error) {
+			r, err := exp.Fig6(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig7", "placement quality vs normalized runtime", func(o exp.Options) (string, error) {
+			r, err := exp.Fig7(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig8", "synthetic traffic latency and throughput (simulated)", func(o exp.Options) (string, error) {
+			r, err := exp.Fig8(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig9", "router power per benchmark (simulated + power model)", func(o exp.Options) (string, error) {
+			r, err := exp.Fig9(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig10", "router static power breakdown", func(o exp.Options) (string, error) {
+			r, err := exp.Fig10(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig11", "impact of bisection bandwidth (2K vs 8K Gb/s)", func(o exp.Options) (string, error) {
+			r, err := exp.Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig12", "D&C_SA vs exhaustive optimal", func(o exp.Options) (string, error) {
+			r, err := exp.Fig12(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"table2", "maximum zero-load packet latency", func(o exp.Options) (string, error) {
+			r, err := exp.Table2(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"appspec", "application-specific re-optimization (Section 5.6.4)", func(o exp.Options) (string, error) {
+			r, err := exp.AppSpec(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"abgen", "ablation: connection-matrix vs naive SA candidate generator (Section 4.4.2)", func(o exp.Options) (string, error) {
+			r, err := exp.AblationGenerator(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"abroute", "ablation: XY vs O1TURN routing (Section 4.2)", func(o exp.Options) (string, error) {
+			r, err := exp.AblationRouting(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"abbypass", "ablation: physical express links vs pipeline bypass (Section 2.1)", func(o exp.Options) (string, error) {
+			r, err := exp.AblationBypass(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"bottleneck", "channel-load analysis behind Fig. 8b's throughput gap (Section 5.4)", func(o exp.Options) (string, error) {
+			r, err := exp.Bottleneck(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"robust", "extension: latency degradation under express-link failures", func(o exp.Options) (string, error) {
+			r, err := exp.Robustness(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"loadlat", "load-latency curves connecting Fig. 8a and Fig. 8b", func(o exp.Options) (string, error) {
+			r, err := exp.LoadLatency(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"microarch", "router sensitivity: VC count (Section 2.2) and buffer budget (Section 4.6)", func(o exp.Options) (string, error) {
+			r, err := exp.Microarch(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		which  = flag.String("exp", "all", "experiment to run: all, or one of fig5..fig12, table2, appspec, ...")
+		quick  = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		outDir = flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
+	)
+	flag.Parse()
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-8s %s\n", r.name, r.desc)
+		}
+		return
+	}
+
+	opts := exp.DefaultOptions()
+	opts.Quick = *quick
+	opts.Seed = *seed
+
+	ran := 0
+	for _, r := range rs {
+		if *which != "all" && !strings.EqualFold(*which, r.name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expbench %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s — %s\n\n%s\n(%.1fs)\n\n", r.name, r.desc, out, time.Since(start).Seconds())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, r.name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "expbench: unknown experiment %q (use -list)\n", *which)
+		os.Exit(1)
+	}
+}

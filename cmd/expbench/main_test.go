@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"explink/internal/exp"
+)
+
+func TestRunnersRegistry(t *testing.T) {
+	rs := runners()
+	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "table2", "appspec", "abgen", "abroute", "abbypass",
+		"bottleneck", "robust", "loadlat", "microarch"}
+	if len(rs) != len(want) {
+		t.Fatalf("got %d runners, want %d", len(rs), len(want))
+	}
+	for i, r := range rs {
+		if r.name != want[i] {
+			t.Fatalf("runner %d is %q, want %q", i, r.name, want[i])
+		}
+		if r.desc == "" || r.run == nil {
+			t.Fatalf("runner %q incomplete", r.name)
+		}
+	}
+}
+
+// The cheap analytic experiments run end to end through the registry; the
+// simulator-heavy ones are covered by internal/exp's own tests.
+func TestRunnersExecuteQuick(t *testing.T) {
+	opts := exp.QuickOptions()
+	for _, r := range runners() {
+		switch r.name {
+		case "fig5", "fig11", "fig12", "table2", "abgen":
+			out, err := r.run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			if !strings.Contains(out, "==") || len(out) < 100 {
+				t.Fatalf("%s: suspicious output %q", r.name, out[:min(len(out), 80)])
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

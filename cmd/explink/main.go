@@ -1,0 +1,132 @@
+// Command explink optimizes express-link placement for an n x n mesh NoC
+// under a bisection-bandwidth budget, the end-to-end flow of the paper.
+//
+// Usage:
+//
+//	explink -n 8                  # sweep all feasible C, print the best design
+//	explink -n 8 -c 4             # solve one link limit
+//	explink -n 8 -algo OnlySA     # ablation: SA from a random start
+//	explink -n 8 -json            # machine-readable output
+//	explink -n 8 -diagram         # ASCII picture of the placement
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/route"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 8, "network size (n x n routers)")
+		c       = flag.Int("c", 0, "link limit C; 0 sweeps all feasible values")
+		algo    = flag.String("algo", "D&C_SA", "placement algorithm: D&C_SA, OnlySA or InitOnly")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		moves   = flag.Int("moves", 0, "override SA move budget (0 keeps the paper's 10^4)")
+		base    = flag.Int("base", 256, "link width in bits the bisection budget affords at C=1")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of tables")
+		diagram = flag.Bool("diagram", false, "print an ASCII diagram of the chosen row placement")
+		matrix  = flag.Bool("matrix", false, "print the connection matrix of the chosen placement")
+		tables  = flag.Bool("tables", false, "print the per-router routing tables (Fig. 3b)")
+	)
+	flag.Parse()
+
+	cfg := model.DefaultConfig(*n)
+	cfg.BW.BaseWidth = *base
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	s := core.NewSolver(cfg)
+	s.Seed = *seed
+	if *moves > 0 {
+		s.Sched = s.Sched.WithMoves(*moves)
+	}
+
+	var (
+		best core.RowSolution
+		all  []core.RowSolution
+		err  error
+	)
+	if *c > 0 {
+		best, err = s.SolveRow(*c, core.Algorithm(*algo))
+		all = []core.RowSolution{best}
+	} else {
+		best, all, err = s.Optimize(core.Algorithm(*algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		emitJSON(best, all)
+		return
+	}
+
+	t := stats.NewTable(fmt.Sprintf("%s placement for %dx%d (base width %db)", *algo, *n, *n, *base),
+		"C", "width(b)", "L_D", "L_S", "L_avg", "evals", "express links")
+	for _, sol := range all {
+		t.AddRowf(sol.C, sol.Eval.Width, sol.Eval.Head, sol.Eval.Ser, sol.Eval.Total, sol.Evals, sol.Row.String())
+	}
+	fmt.Print(t.String())
+	mesh, err := cfg.EvalRow(topo.MeshRow(*n), 1)
+	if err == nil && mesh.Total > 0 {
+		fmt.Printf("\nbest: C=%d  L_avg=%.2f cycles  (%.1f%% below the mesh's %.2f)\n",
+			best.C, best.Eval.Total, 100*(1-best.Eval.Total/mesh.Total), mesh.Total)
+	}
+	if *diagram {
+		fmt.Printf("\n%s\n", best.Row.Diagram())
+	}
+	if *matrix {
+		m, err := topo.MatrixFromRow(best.Row, best.C)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s", m.String())
+	}
+	if *tables {
+		fmt.Printf("\n%s", route.FormatTables(best.Row, cfg.Params.Route()))
+	}
+}
+
+type jsonSolution struct {
+	C       int         `json:"c"`
+	Width   int         `json:"widthBits"`
+	Head    float64     `json:"headLatency"`
+	Ser     float64     `json:"serializationLatency"`
+	Total   float64     `json:"totalLatency"`
+	Evals   int64       `json:"evaluations"`
+	Express []topo.Span `json:"expressLinks"`
+}
+
+func emitJSON(best core.RowSolution, all []core.RowSolution) {
+	conv := func(s core.RowSolution) jsonSolution {
+		return jsonSolution{
+			C: s.C, Width: s.Eval.Width, Head: s.Eval.Head, Ser: s.Eval.Ser,
+			Total: s.Eval.Total, Evals: s.Evals, Express: s.Row.Canonical().Express,
+		}
+	}
+	out := struct {
+		Best jsonSolution   `json:"best"`
+		All  []jsonSolution `json:"all"`
+	}{Best: conv(best)}
+	for _, s := range all {
+		out.All = append(out.All, conv(s))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explink:", err)
+	os.Exit(1)
+}

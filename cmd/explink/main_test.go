@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"explink/internal/core"
+	"explink/internal/model"
+)
+
+func TestEmitJSON(t *testing.T) {
+	s := core.NewSolver(model.DefaultConfig(8))
+	best, all, err := s.Optimize(core.DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	emitJSON(best, all)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+
+	var out struct {
+		Best jsonSolution   `json:"best"`
+		All  []jsonSolution `json:"all"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Best.C != best.C || out.Best.Total != best.Eval.Total {
+		t.Fatalf("best mismatch: %+v vs %+v", out.Best, best)
+	}
+	if len(out.All) != len(all) {
+		t.Fatalf("all length %d, want %d", len(out.All), len(all))
+	}
+	if len(out.Best.Express) != len(best.Row.Express) {
+		t.Fatalf("express spans %d, want %d", len(out.Best.Express), len(best.Row.Express))
+	}
+}

@@ -1,0 +1,182 @@
+// Command expsim runs the cycle-accurate NoC simulator on a chosen topology,
+// traffic pattern and injection rate, printing latency, throughput,
+// contention and power estimates.
+//
+// Usage:
+//
+//	expsim -n 8 -topo mesh -pattern UR -rate 0.02
+//	expsim -n 8 -topo dcsa -pattern canneal            # PARSEC proxy
+//	expsim -n 8 -topo hfb -pattern TP -saturate        # throughput search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/power"
+	"explink/internal/sim"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "network size (n x n)")
+		topoName = flag.String("topo", "mesh", "topology: mesh, hfb, fb, or dcsa (optimized placement)")
+		pattern  = flag.String("pattern", "UR", "traffic: UR, TP, BR, BC, SH, TOR, NBR, hotspot, or a PARSEC name")
+		rate     = flag.Float64("rate", 0.02, "injection rate (packets/node/cycle)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		warmup   = flag.Int("warmup", 2000, "warmup cycles")
+		measure  = flag.Int("measure", 10000, "measurement cycles")
+		drain    = flag.Int("drain", 40000, "max drain cycles")
+		saturate = flag.Bool("saturate", false, "search for the saturation throughput instead of a single run")
+		showPow  = flag.Bool("power", true, "print the power estimate")
+		heatmap  = flag.Bool("heatmap", false, "print the per-router link-utilization heatmap after the run")
+		saveTr   = flag.String("savetrace", "", "record the workload and write it as JSON to this file")
+		loadTr   = flag.String("loadtrace", "", "replay a JSON trace instead of generating traffic")
+	)
+	flag.Parse()
+
+	tp, c, err := buildTopo(*topoName, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pat, prate, err := buildPattern(*pattern, *n, *rate)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.NewConfig(tp, c, pat, prate)
+	cfg.Seed = *seed
+	cfg.Warmup, cfg.Measure, cfg.Drain = *warmup, *measure, *drain
+	if *saveTr != "" {
+		cfg.RecordTrace = true
+	}
+	if *loadTr != "" {
+		f, err := os.Open(*loadTr)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := sim.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = tr
+		cfg.Pattern = nil
+		cfg.InjectionRate = 0
+	}
+
+	if *saturate {
+		sweep, err := sim.FindSaturation(cfg, sim.DefaultSaturationOpts())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("topology %s, pattern %s:\n", tp.Name, pat.Name())
+		for _, p := range sweep.Points {
+			fmt.Printf("  rate %.4f: latency %.2f, accepted %.4f pkt/node/cy, drained=%v\n",
+				p.Rate, p.Result.AvgPacketLatency, p.Result.ThroughputPackets, p.Result.Drained)
+		}
+		fmt.Printf("saturation throughput: %.4f packets/node/cycle (at offered %.4f)\n",
+			sweep.Saturation, sweep.SatRate)
+		return
+	}
+
+	s, err := sim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.String())
+	fmt.Printf("  p95=%d p99=%d max=%d cycles, measured packets=%d\n",
+		res.P95Latency, res.P99Latency, res.MaxLatency, res.MeasuredPackets)
+	if *showPow {
+		w, err := model.DefaultBandwidth().Width(c)
+		if err == nil {
+			rep, perr := power.DefaultModel().Estimate(tp, w, res)
+			if perr == nil {
+				fmt.Println("  " + rep.String())
+				if e, eerr := power.DefaultModel().EnergyOf(rep, res); eerr == nil {
+					fmt.Println("  " + e.String())
+				}
+			}
+		}
+	}
+	if *heatmap {
+		fmt.Print(s.UtilizationHeatmap())
+	}
+	if *saveTr != "" {
+		f, err := os.Create(*saveTr)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := s.RecordedTrace().Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace with %d packets written to %s\n",
+			res.Counts.PacketsInjected, *saveTr)
+	}
+}
+
+func buildTopo(name string, n int, seed uint64) (topo.Topology, int, error) {
+	switch strings.ToLower(name) {
+	case "mesh":
+		return topo.Mesh(n), 1, nil
+	case "fb":
+		t := topo.FlattenedButterfly(n)
+		return t, t.MaxCrossSection(), nil
+	case "hfb":
+		t := topo.HFB(n)
+		return t, t.MaxCrossSection(), nil
+	case "dcsa":
+		s := core.NewSolver(model.DefaultConfig(n))
+		s.Seed = seed
+		best, _, err := s.Optimize(core.DCSA)
+		if err != nil {
+			return topo.Topology{}, 0, err
+		}
+		return s.Topology(best), best.C, nil
+	default:
+		return topo.Topology{}, 0, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func buildPattern(name string, n int, rate float64) (traffic.Pattern, float64, error) {
+	switch strings.ToUpper(name) {
+	case "UR":
+		return traffic.UniformRandom(n), rate, nil
+	case "TP":
+		return traffic.Transpose(n), rate, nil
+	case "BR":
+		return traffic.BitReverse(n), rate, nil
+	case "BC":
+		return traffic.BitComplement(n), rate, nil
+	case "SH":
+		return traffic.Shuffle(n), rate, nil
+	case "TOR":
+		return traffic.Tornado(n), rate, nil
+	case "NBR":
+		return traffic.Neighbor(n), rate, nil
+	case "HOTSPOT":
+		hot := []int{0, n - 1, n * (n - 1), n*n - 1}
+		return traffic.Hotspot(n, hot, 0.3, traffic.UniformRandom(n)), rate, nil
+	}
+	b, err := traffic.BenchmarkByName(strings.ToLower(name))
+	if err != nil {
+		return nil, 0, fmt.Errorf("unknown pattern %q (synthetic or PARSEC name)", name)
+	}
+	return b.Pattern(n), b.InjRate, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "expsim:", err)
+	os.Exit(1)
+}

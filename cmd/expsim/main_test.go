@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildTopo(t *testing.T) {
+	cases := []struct {
+		name  string
+		wantC int
+	}{
+		{"mesh", 1},
+		{"hfb", 4},
+		{"fb", 16},
+	}
+	for _, c := range cases {
+		tp, limit, err := buildTopo(c.name, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if limit != c.wantC {
+			t.Fatalf("%s: C = %d, want %d", c.name, limit, c.wantC)
+		}
+		if err := tp.Validate(limit); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+	if _, _, err := buildTopo("ring", 8, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestBuildTopoDCSA(t *testing.T) {
+	tp, c, err := buildTopo("dcsa", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 2 || c > 16 {
+		t.Fatalf("optimized C = %d", c)
+	}
+	if err := tp.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPattern(t *testing.T) {
+	for _, name := range []string{"UR", "TP", "BR", "BC", "SH", "TOR", "NBR", "hotspot"} {
+		pat, rate, err := buildPattern(name, 8, 0.02)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pat == nil || rate != 0.02 {
+			t.Fatalf("%s: pattern %v rate %g", name, pat, rate)
+		}
+	}
+	// PARSEC names carry their own injection rate.
+	pat, rate, err := buildPattern("canneal", 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Name() != "canneal" || rate == 0.5 {
+		t.Fatalf("parsec lookup: %s at %g", pat.Name(), rate)
+	}
+	if _, _, err := buildPattern("doom", 8, 0.1); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Parsec: run the cycle-accurate simulator on PARSEC benchmark proxies and
+// compare Mesh, HFB and the optimized placement — the workload study of the
+// paper's Fig. 6, as a library client.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/sim"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+func main() {
+	const n = 8
+	cfg := model.DefaultConfig(n)
+
+	// Build the three designs under test.
+	solver := core.NewSolver(cfg)
+	best, _, err := solver.Optimize(core.DCSA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hfbRow := topo.HFBRow(n)
+	designs := []struct {
+		name string
+		topo topo.Topology
+		c    int
+	}{
+		{"Mesh", topo.Mesh(n), 1},
+		{"HFB", topo.Uniform("HFB", n, hfbRow), hfbRow.MaxCrossSection()},
+		{"D&C_SA", solver.Topology(best), best.C},
+	}
+
+	fmt.Printf("%-14s %10s %10s %10s\n", "benchmark", "Mesh", "HFB", "D&C_SA")
+	for _, b := range traffic.Benchmarks() {
+		fmt.Printf("%-14s", b.Name)
+		for _, d := range designs {
+			c := sim.NewConfig(d.topo, d.c, b.Pattern(n), b.InjRate)
+			c.Warmup, c.Measure, c.Drain = 1000, 5000, 20000
+			s, err := sim.New(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.2f ", res.AvgPacketLatency)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(average packet latency in cycles; lower is better)")
+}

@@ -1,0 +1,3 @@
+module explink
+
+go 1.22

@@ -1,0 +1,136 @@
+// Package anneal implements the simulated-annealing search of Section 4.4:
+// the state is a connection matrix (so every candidate is feasible by
+// construction), the candidate generator flips one uniformly random
+// connection point per move, acceptance is exponential (e^{-ΔL/T}), and the
+// cooling schedule divides the temperature by a constant every fixed number
+// of moves (Table 1).
+package anneal
+
+import (
+	"math"
+
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// Schedule is the SA parameter set of Table 1.
+type Schedule struct {
+	T0        float64 // initial temperature, in cycles of ΔL_avg
+	Moves     int     // total number of moves m
+	CoolEvery int     // moves between cooldowns, m_c
+	CoolDiv   float64 // cooldown scale S_c (T <- T / S_c)
+	// StopAfterNoImprove ends the search early once this many consecutive
+	// moves fail to improve the best state (0 disables early stopping).
+	// Useful when measuring convergence runtime rather than fixed budgets.
+	StopAfterNoImprove int
+}
+
+// DefaultSchedule returns the paper's Table 1 parameters: T0 = 10 cycles,
+// m = 10^4 moves, S_c = 2, m_c = 10^3.
+func DefaultSchedule() Schedule {
+	return Schedule{T0: 10, Moves: 10000, CoolEvery: 1000, CoolDiv: 2}
+}
+
+// WithMoves returns a copy of the schedule with a different move budget,
+// keeping the cooldown cadence proportional so shorter runs still cool.
+func (s Schedule) WithMoves(moves int) Schedule {
+	out := s
+	out.Moves = moves
+	if s.Moves > 0 && s.CoolEvery > 0 {
+		ratio := float64(moves) / float64(s.Moves)
+		ce := int(math.Round(float64(s.CoolEvery) * ratio))
+		if ce < 1 {
+			ce = 1
+		}
+		out.CoolEvery = ce
+	}
+	return out
+}
+
+// Objective scores a decoded placement; lower is better. For P̃(n, C) it is
+// the average row head latency (serialization is constant at fixed C).
+type Objective func(topo.Row) float64
+
+// Point records the best objective seen after a number of evaluations, used
+// to draw the quality-vs-runtime curves of Fig. 7.
+type Point struct {
+	Evals int64
+	Best  float64
+}
+
+// Result reports the best state found and the search statistics.
+type Result struct {
+	Matrix   *topo.ConnMatrix
+	Row      topo.Row
+	Obj      float64
+	Evals    int64 // objective evaluations (includes the initial one)
+	Accepted int64 // accepted moves
+	Uphill   int64 // accepted moves with ΔL > 0
+	History  []Point
+}
+
+// Minimize runs simulated annealing from the given initial matrix. The
+// initial matrix is not modified. When the matrix has no connection points
+// (C = 1 or n <= 2) the initial state is returned unchanged. Pass record =
+// true to collect the best-so-far history at every improvement.
+func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG, record bool) Result {
+	cur := init.Clone()
+	curRow := cur.Row()
+	curObj := obj(curRow)
+	res := Result{
+		Matrix: cur.Clone(),
+		Row:    curRow,
+		Obj:    curObj,
+		Evals:  1,
+	}
+	if record {
+		res.History = append(res.History, Point{Evals: 1, Best: curObj})
+	}
+	bits := cur.Bits()
+	if bits == 0 || sch.Moves <= 0 {
+		return res
+	}
+
+	temp := sch.T0
+	sinceImprove := 0
+	for move := 1; move <= sch.Moves; move++ {
+		if sch.StopAfterNoImprove > 0 && sinceImprove >= sch.StopAfterNoImprove {
+			break
+		}
+		i := rng.Intn(bits)
+		cur.FlipAt(i)
+		candRow := cur.Row()
+		candObj := obj(candRow)
+		res.Evals++
+
+		delta := candObj - curObj
+		accept := delta <= 0
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp(-delta/temp)
+		}
+		sinceImprove++
+		if accept {
+			res.Accepted++
+			if delta > 0 {
+				res.Uphill++
+			}
+			curObj = candObj
+			if candObj < res.Obj {
+				res.Obj = candObj
+				res.Matrix = cur.Clone()
+				res.Row = candRow
+				sinceImprove = 0
+				if record {
+					res.History = append(res.History, Point{Evals: res.Evals, Best: candObj})
+				}
+			}
+		} else {
+			cur.FlipAt(i) // revert
+		}
+
+		if sch.CoolEvery > 0 && move%sch.CoolEvery == 0 && sch.CoolDiv > 0 {
+			temp /= sch.CoolDiv
+		}
+	}
+	return res
+}

@@ -1,0 +1,143 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"explink/internal/bnb"
+	"explink/internal/model"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+var p = model.DefaultParams()
+
+func rowObj(r topo.Row) float64 { return model.RowMean(r, p) }
+
+func TestDefaultScheduleMatchesTable1(t *testing.T) {
+	s := DefaultSchedule()
+	if s.T0 != 10 || s.Moves != 10000 || s.CoolEvery != 1000 || s.CoolDiv != 2 {
+		t.Fatalf("schedule = %+v", s)
+	}
+}
+
+func TestWithMoves(t *testing.T) {
+	s := DefaultSchedule().WithMoves(1000)
+	if s.Moves != 1000 || s.CoolEvery != 100 {
+		t.Fatalf("scaled schedule = %+v", s)
+	}
+	tiny := DefaultSchedule().WithMoves(5)
+	if tiny.CoolEvery < 1 {
+		t.Fatalf("cool-every must stay positive: %+v", tiny)
+	}
+}
+
+func TestMinimizeNoBits(t *testing.T) {
+	// C=1 has an empty move space; the initial state must come back intact.
+	m := topo.NewConnMatrix(8, 1)
+	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(1), false)
+	if res.Evals != 1 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+	if !res.Row.Equal(topo.MeshRow(8)) {
+		t.Fatalf("row = %v", res.Row)
+	}
+}
+
+func TestMinimizeImproves(t *testing.T) {
+	m := topo.NewConnMatrix(8, 4) // start from mesh
+	init := rowObj(m.Row())
+	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(7), false)
+	if res.Obj >= init {
+		t.Fatalf("SA failed to improve: %g >= %g", res.Obj, init)
+	}
+	if err := res.Row.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != int64(DefaultSchedule().Moves)+1 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+}
+
+func TestMinimizeDoesNotMutateInit(t *testing.T) {
+	m := topo.NewConnMatrix(8, 4)
+	snapshot := m.Clone()
+	Minimize(m, rowObj, DefaultSchedule().WithMoves(500), stats.NewRNG(3), false)
+	if !m.Equal(snapshot) {
+		t.Fatal("initial matrix was mutated")
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	run := func() Result {
+		m := topo.NewConnMatrix(8, 4)
+		return Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(42), false)
+	}
+	a, b := run(), run()
+	if a.Obj != b.Obj || !a.Row.Equal(b.Row) || a.Accepted != b.Accepted {
+		t.Fatal("SA is not deterministic for a fixed seed")
+	}
+}
+
+func TestMinimizeFindsOptimumSmall(t *testing.T) {
+	// P(8,2) has a 64-state matrix space; a full SA run must find the global
+	// optimum.
+	opt := bnb.ExhaustiveMatrix(8, 2, p)
+	m := topo.NewConnMatrix(8, 2)
+	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(5), false)
+	if math.Abs(res.Obj-opt.Mean) > 1e-9 {
+		t.Fatalf("SA found %g, optimum is %g", res.Obj, opt.Mean)
+	}
+}
+
+func TestMinimizeHistoryMonotone(t *testing.T) {
+	m := topo.NewConnMatrix(8, 4)
+	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(9), true)
+	if len(res.History) < 2 {
+		t.Fatalf("history too short: %v", res.History)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i].Best >= res.History[i-1].Best {
+			t.Fatalf("history not strictly improving at %d: %v", i, res.History)
+		}
+		if res.History[i].Evals <= res.History[i-1].Evals {
+			t.Fatalf("history evals not increasing at %d", i)
+		}
+	}
+	last := res.History[len(res.History)-1].Best
+	if last != res.Obj {
+		t.Fatalf("history end %g != result %g", last, res.Obj)
+	}
+}
+
+func TestMinimizeAcceptsUphillEarly(t *testing.T) {
+	// With T0 = 10 the early phase must accept some uphill moves; a purely
+	// greedy search would get stuck in the first local optimum.
+	m := topo.NewConnMatrix(8, 4)
+	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(11), false)
+	if res.Uphill == 0 {
+		t.Fatal("no uphill moves accepted; annealing degenerated to greedy")
+	}
+}
+
+func TestMinimizeZeroMoves(t *testing.T) {
+	m := topo.NewConnMatrix(8, 4)
+	res := Minimize(m, rowObj, Schedule{T0: 10, Moves: 0, CoolEvery: 1, CoolDiv: 2}, stats.NewRNG(1), false)
+	if res.Evals != 1 || !res.Row.Equal(topo.MeshRow(8)) {
+		t.Fatalf("zero-move run changed state: %v", res.Row)
+	}
+}
+
+func TestMinimizeFromGoodInitNeverWorse(t *testing.T) {
+	// Seeding with a strong placement must never return something worse:
+	// best-so-far tracking guarantees it.
+	good := bnb.OptimalRow(8, 3, p)
+	m, err := topo.MatrixFromRow(good.Row, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Minimize(m, rowObj, DefaultSchedule().WithMoves(2000), stats.NewRNG(13), false)
+	if res.Obj > good.Mean+1e-9 {
+		t.Fatalf("SA returned %g, worse than its seed %g", res.Obj, good.Mean)
+	}
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"explink/internal/core"
+	"explink/internal/model"
+)
+
+// The paper's end-to-end flow: sweep every feasible link limit on an 8x8
+// network and pick the design minimizing L_avg = L_D + L_S.
+func ExampleSolver_Optimize() {
+	solver := core.NewSolver(model.DefaultConfig(8))
+	best, all, err := solver.Optimize(core.DCSA)
+	if err != nil {
+		panic(err)
+	}
+	for _, sol := range all {
+		marker := "  "
+		if sol.C == best.C {
+			marker = "->"
+		}
+		fmt.Printf("%s C=%-2d width=%3db  L_avg=%.2f\n", marker, sol.C, sol.Eval.Width, sol.Eval.Total)
+	}
+	// Output:
+	//    C=1  width=256b  L_avg=22.20
+	//    C=2  width=128b  L_avg=16.98
+	// -> C=4  width= 64b  L_avg=16.32
+	//    C=8  width= 32b  L_avg=18.40
+	//    C=16 width= 16b  L_avg=23.49
+}
+
+// Rectangular platforms solve each dimension independently.
+func ExampleRectSolver_SolveRect() {
+	rs := core.NewRectSolver(8, 4)
+	sol, err := rs.SolveRect(4, core.DCSA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("8x4 at C=4: L_avg=%.2f (row spans=%d, col spans=%d)\n",
+		sol.Eval.Total, len(sol.Row.Express), len(sol.Col.Express))
+	// Output:
+	// 8x4 at C=4: L_avg=13.26 (row spans=7, col spans=3)
+}

@@ -1,0 +1,177 @@
+// Package core implements the paper's primary contribution end to end: given
+// a network size and a bisection-bandwidth budget, it enumerates the feasible
+// link limits C (Section 4.1), solves the one-dimensional placement problem
+// P̃(n, C) for each — with the divide-and-conquer initial solution feeding
+// the connection-matrix simulated annealing (D&C_SA), or with a random
+// initial state (the OnlySA ablation) — and picks the C whose placement
+// minimizes the overall average packet latency L_avg = L_D,avg + L_S,avg.
+//
+// It also implements the application-specific variant of Section 5.6.4,
+// which re-optimizes each row and column against a measured traffic matrix.
+package core
+
+import (
+	"fmt"
+
+	"explink/internal/anneal"
+	"explink/internal/dnc"
+	"explink/internal/model"
+	"explink/internal/route"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// Algorithm selects the placement strategy.
+type Algorithm string
+
+const (
+	// DCSA is the proposed scheme: divide-and-conquer initial solution plus
+	// connection-matrix simulated annealing.
+	DCSA Algorithm = "D&C_SA"
+	// OnlySA is the ablation: the same annealing from a random initial state.
+	OnlySA Algorithm = "OnlySA"
+	// InitOnly stops after the divide-and-conquer initial solution; it
+	// exposes the quality of I(n, C) alone.
+	InitOnly Algorithm = "InitOnly"
+)
+
+// Solver configures the optimization.
+type Solver struct {
+	Cfg   model.Config
+	Sched anneal.Schedule
+	Seed  uint64
+	// WorstWeight blends the worst-case pair latency into the SA objective:
+	// 0 (the paper's formulation) minimizes the average alone; 1 minimizes
+	// the worst pair alone. Intermediate values trade the two, an extension
+	// useful when tail latency matters (Table 2's metric).
+	WorstWeight float64
+}
+
+// NewSolver returns a solver with the paper's default SA schedule.
+func NewSolver(cfg model.Config) *Solver {
+	return &Solver{Cfg: cfg, Sched: anneal.DefaultSchedule(), Seed: 1}
+}
+
+// RowSolution is the outcome of solving P̃(n, C) for one link limit.
+type RowSolution struct {
+	Algo  Algorithm
+	C     int
+	Row   topo.Row
+	Eval  model.Eval // full-network latency of the replicated placement
+	Evals int64      // total placement evaluations (initial generation + SA)
+}
+
+func (r RowSolution) String() string {
+	return fmt.Sprintf("%s %v -> %v (%d evals)", r.Algo, r.Row, r.Eval, r.Evals)
+}
+
+// rowObjective builds the SA objective: the average row head latency, with
+// an optional worst-case blend (see Solver.WorstWeight).
+func (s *Solver) rowObjective() func(topo.Row) float64 {
+	w := s.WorstWeight
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	params := s.Cfg.Params
+	if w == 0 {
+		return func(r topo.Row) float64 { return model.RowMean(r, params) }
+	}
+	rp := params.Route()
+	return func(r topo.Row) float64 {
+		paths := route.Compute(r, rp)
+		return (1-w)*paths.MeanDist() + w*paths.MaxDist()
+	}
+}
+
+// rng derives a deterministic stream per (C, algorithm, salt) so solutions
+// for different limits and lines are independent yet reproducible.
+func (s *Solver) rngFor(c int, algo Algorithm, salt uint64) *stats.RNG {
+	parts := []uint64{s.Seed, uint64(c), salt}
+	for _, b := range []byte(algo) {
+		parts = append(parts, uint64(b))
+	}
+	return stats.NewRNG(stats.MixSeed(parts...))
+}
+
+func (s *Solver) rng(c int, algo Algorithm) *stats.RNG { return s.rngFor(c, algo, 0) }
+
+// SolveRow solves P̃(n, C) with the chosen algorithm and scores the resulting
+// placement on the full network.
+func (s *Solver) SolveRow(c int, algo Algorithm) (RowSolution, error) {
+	if err := s.Cfg.Validate(); err != nil {
+		return RowSolution{}, err
+	}
+	if _, err := s.Cfg.BW.Width(c); err != nil {
+		return RowSolution{}, err
+	}
+	n := s.Cfg.N
+	obj := s.rowObjective()
+
+	var row topo.Row
+	var evals int64
+	switch algo {
+	case DCSA, InitOnly:
+		init := dnc.Initial(n, c, s.Cfg.Params)
+		evals = init.Evals
+		row = init.Row
+		if algo == DCSA {
+			m, err := topo.MatrixFromRow(init.Row, c)
+			if err != nil {
+				return RowSolution{}, fmt.Errorf("core: encoding initial solution: %w", err)
+			}
+			// The annealer tracks best-so-far starting from the initial
+			// state, so its result is never worse than the D&C placement
+			// under the active objective.
+			res := anneal.Minimize(m, obj, s.Sched, s.rng(c, algo), false)
+			evals += res.Evals
+			row = res.Row
+		}
+	case OnlySA:
+		m := topo.NewConnMatrix(n, c)
+		rng := s.rng(c, algo)
+		m.Randomize(func() bool { return rng.Bool(0.5) })
+		res := anneal.Minimize(m, obj, s.Sched, rng, false)
+		evals = res.Evals
+		row = res.Row
+	default:
+		return RowSolution{}, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+
+	row = row.Dedupe() // duplicate spans add ports, never shorten paths
+	ev, err := s.Cfg.EvalRow(row, c)
+	if err != nil {
+		return RowSolution{}, fmt.Errorf("core: solution infeasible at C=%d: %w", c, err)
+	}
+	return RowSolution{Algo: algo, C: c, Row: row, Eval: ev, Evals: evals}, nil
+}
+
+// Optimize sweeps every feasible link limit, solves each, and returns the
+// best solution along with all per-C solutions (the D&C_SA curve of Fig. 5).
+func (s *Solver) Optimize(algo Algorithm) (RowSolution, []RowSolution, error) {
+	limits := s.Cfg.BW.FeasibleLimits(topo.LinkLimits(s.Cfg.N))
+	if len(limits) == 0 {
+		return RowSolution{}, nil, fmt.Errorf("core: no feasible link limits for n=%d", s.Cfg.N)
+	}
+	var all []RowSolution
+	var best RowSolution
+	for i, c := range limits {
+		sol, err := s.SolveRow(c, algo)
+		if err != nil {
+			return RowSolution{}, nil, err
+		}
+		all = append(all, sol)
+		if i == 0 || sol.Eval.Total < best.Eval.Total {
+			best = sol
+		}
+	}
+	return best, all, nil
+}
+
+// Topology expands a row solution into the full network by the 2D->1D lemma.
+func (s *Solver) Topology(sol RowSolution) topo.Topology {
+	name := fmt.Sprintf("%s(C=%d)", sol.Algo, sol.C)
+	return topo.Uniform(name, s.Cfg.N, sol.Row)
+}

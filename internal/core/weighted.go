@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"explink/internal/anneal"
+	"explink/internal/dnc"
+	"explink/internal/model"
+	"explink/internal/topo"
+)
+
+// This file implements the application-specific design of Section 5.6.4:
+// when the traffic matrix γ is known, the head-latency objective becomes
+// Σ γij·L_D(i,j) / Σ γij, which still decomposes into independent row and
+// column problems — but each row and column now has its own weights, so
+// P̃(n, C) is solved per line instead of once.
+
+// TrafficWeights are the per-line pairwise weights derived from a node-level
+// traffic matrix under XY routing.
+type TrafficWeights struct {
+	N    int
+	RowW [][][]float64 // RowW[y][a][b]: traffic entering row y at column a bound for column b
+	ColW [][][]float64 // ColW[x][ya][yb]: traffic turning into column x at row ya bound for row yb
+}
+
+// WeightsFromMatrix decomposes a node-to-node traffic matrix gamma (indexed
+// by node id, gamma[src][dst] >= 0) into per-row and per-column pair weights.
+// Under XY routing a packet from (sx, sy) to (dx, dy) traverses row sy from
+// column sx to dx, then column dx from row sy to dy.
+func WeightsFromMatrix(n int, gamma [][]float64) (TrafficWeights, error) {
+	nn := n * n
+	if len(gamma) != nn {
+		return TrafficWeights{}, fmt.Errorf("core: traffic matrix is %d rows, want %d", len(gamma), nn)
+	}
+	w := TrafficWeights{N: n, RowW: zero3(n), ColW: zero3(n)}
+	for src := 0; src < nn; src++ {
+		if len(gamma[src]) != nn {
+			return TrafficWeights{}, fmt.Errorf("core: traffic row %d has %d cols, want %d", src, len(gamma[src]), nn)
+		}
+		sx, sy := src%n, src/n
+		for dst := 0; dst < nn; dst++ {
+			g := gamma[src][dst]
+			if g == 0 || src == dst {
+				continue
+			}
+			if g < 0 {
+				return TrafficWeights{}, fmt.Errorf("core: negative traffic %g at (%d,%d)", g, src, dst)
+			}
+			dx, dy := dst%n, dst/n
+			if sx != dx {
+				w.RowW[sy][sx][dx] += g
+			}
+			if sy != dy {
+				w.ColW[dx][sy][dy] += g
+			}
+		}
+	}
+	return w, nil
+}
+
+func zero3(n int) [][][]float64 {
+	out := make([][][]float64, n)
+	for i := range out {
+		out[i] = make([][]float64, n)
+		for j := range out[i] {
+			out[i][j] = make([]float64, n)
+		}
+	}
+	return out
+}
+
+// SolveWeighted optimizes every row and column against its own traffic
+// weights at link limit c and returns the resulting (generally non-uniform)
+// topology. Lines with no traffic at all keep the unweighted solution.
+func (s *Solver) SolveWeighted(c int, w TrafficWeights, algo Algorithm) (topo.Topology, error) {
+	n := s.Cfg.N
+	if w.N != n {
+		return topo.Topology{}, fmt.Errorf("core: weights for n=%d on solver n=%d", w.N, n)
+	}
+	if _, err := s.Cfg.BW.Width(c); err != nil {
+		return topo.Topology{}, err
+	}
+	t := topo.Topology{Name: fmt.Sprintf("AppSpec(C=%d)", c), W: n, H: n,
+		Rows: make([]topo.Row, n), Cols: make([]topo.Row, n)}
+	for y := 0; y < n; y++ {
+		row, err := s.solveLine(c, algo, w.RowW[y], int64(y))
+		if err != nil {
+			return topo.Topology{}, fmt.Errorf("core: row %d: %w", y, err)
+		}
+		t.Rows[y] = row
+	}
+	for x := 0; x < n; x++ {
+		col, err := s.solveLine(c, algo, w.ColW[x], int64(n+x))
+		if err != nil {
+			return topo.Topology{}, fmt.Errorf("core: col %d: %w", x, err)
+		}
+		t.Cols[x] = col
+	}
+	return t, nil
+}
+
+// solveLine solves one weighted P̃(n, C) instance. The divide-and-conquer
+// initialization stays unweighted (it is a structural heuristic); the SA
+// refinement uses the weighted objective, exactly as Section 5.6.4 notes that
+// "the proposed divide-and-conquer method ... and the cleverly-designed
+// connection matrix ... are still applicable".
+func (s *Solver) solveLine(c int, algo Algorithm, w [][]float64, salt int64) (topo.Row, error) {
+	n := s.Cfg.N
+	obj := func(r topo.Row) float64 { return model.WeightedRowMean(r, s.Cfg.Params, w) }
+
+	var init topo.Row
+	switch algo {
+	case DCSA, InitOnly:
+		init = dnc.Initial(n, c, s.Cfg.Params).Row
+		if algo == InitOnly {
+			return init, nil
+		}
+	case OnlySA:
+		init = topo.MeshRow(n)
+	default:
+		return topo.Row{}, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	m, err := topo.MatrixFromRow(init, c)
+	if err != nil {
+		return topo.Row{}, err
+	}
+	rng := s.rngFor(c, algo, uint64(salt)+1)
+	if algo == OnlySA {
+		m.Randomize(func() bool { return rng.Bool(0.5) })
+	}
+	res := anneal.Minimize(m, obj, s.Sched, rng, false)
+	if obj(init) < res.Obj {
+		return init, nil
+	}
+	return res.Row.Canonical(), nil
+}
+
+// WeightedLatency scores a topology against a node-level traffic matrix:
+// the γ-weighted mean of pairwise head latencies plus the serialization
+// latency at the width implied by c. It is the application-specific analogue
+// of Config.EvalTopology.
+func WeightedLatency(cfg model.Config, t topo.Topology, c int, gamma [][]float64) (model.Eval, error) {
+	width, err := cfg.BW.Width(c)
+	if err != nil {
+		return model.Eval{}, err
+	}
+	if err := t.Validate(c); err != nil {
+		return model.Eval{}, err
+	}
+	tp := model.ComputeTopoPaths(t, cfg.Params)
+	nn := t.NumRouters()
+	var num, den float64
+	for src := 0; src < nn; src++ {
+		for dst := 0; dst < nn; dst++ {
+			if src == dst {
+				continue
+			}
+			g := gamma[src][dst]
+			if g == 0 {
+				continue
+			}
+			num += g * tp.PairHead(src, dst)
+			den += g
+		}
+	}
+	head := 0.0
+	if den > 0 {
+		head = num / den
+	}
+	ser := model.Serialization(cfg.Mix, width)
+	return model.Eval{C: c, Width: width, Head: head, Ser: ser, Total: head + ser}, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"explink/internal/model"
+	"explink/internal/topo"
+)
+
+// skewedTraffic builds a traffic matrix where every node talks only to the
+// node mirrored across its row (same row, opposite column).
+func skewedTraffic(n int) [][]float64 {
+	nn := n * n
+	g := make([][]float64, nn)
+	for s := range g {
+		g[s] = make([]float64, nn)
+		x, y := s%n, s/n
+		d := y*n + (n - 1 - x)
+		if d != s {
+			g[s][d] = 1
+		}
+	}
+	return g
+}
+
+func TestWeightsFromMatrix(t *testing.T) {
+	n := 4
+	g := skewedTraffic(n)
+	w, err := WeightsFromMatrix(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All traffic is horizontal: column weights must be zero.
+	for x := 0; x < n; x++ {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if w.ColW[x][a][b] != 0 {
+					t.Fatalf("unexpected column traffic at col %d (%d->%d)", x, a, b)
+				}
+			}
+		}
+	}
+	// Each row has one unit from column a to column n-1-a.
+	for y := 0; y < n; y++ {
+		for a := 0; a < n; a++ {
+			want := 1.0
+			if a == n-1-a {
+				want = 0
+			}
+			if w.RowW[y][a][n-1-a] != want {
+				t.Fatalf("row %d weight (%d->%d) = %g", y, a, n-1-a, w.RowW[y][a][n-1-a])
+			}
+		}
+	}
+}
+
+func TestWeightsFromMatrixErrors(t *testing.T) {
+	if _, err := WeightsFromMatrix(4, make([][]float64, 3)); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	g := skewedTraffic(2)
+	g[0][3] = -1
+	if _, err := WeightsFromMatrix(2, g); err == nil {
+		t.Fatal("negative traffic accepted")
+	}
+	ragged := make([][]float64, 4)
+	for i := range ragged {
+		ragged[i] = make([]float64, 3)
+	}
+	if _, err := WeightsFromMatrix(2, ragged); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestSolveWeightedImprovesOnGeneric(t *testing.T) {
+	// Section 5.6.4: with traffic known in advance, the weighted re-solve
+	// must cut the weighted latency further than the general-purpose
+	// placement does. Mirror traffic stresses long row hauls, which the
+	// uniform objective under-weights.
+	n := 8
+	cfg := model.DefaultConfig(n)
+	s := NewSolver(cfg)
+	g := skewedTraffic(n)
+	w, err := WeightsFromMatrix(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = 4
+
+	generic, err := s.SolveRow(c, DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genericTopo := s.Topology(generic)
+	genericEval, err := WeightedLatency(cfg, genericTopo, c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	appTopo, err := s.SolveWeighted(c, w, DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appEval, err := WeightedLatency(cfg, appTopo, c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appEval.Total > genericEval.Total+1e-9 {
+		t.Fatalf("app-specific %g worse than generic %g", appEval.Total, genericEval.Total)
+	}
+	// For mirror traffic the improvement should be clearly visible.
+	if appEval.Head >= genericEval.Head {
+		t.Fatalf("no head-latency gain: %g vs %g", appEval.Head, genericEval.Head)
+	}
+}
+
+func TestSolveWeightedValid(t *testing.T) {
+	n := 8
+	s := NewSolver(model.DefaultConfig(n))
+	s.Sched = s.Sched.WithMoves(1000)
+	w, err := WeightsFromMatrix(n, skewedTraffic(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := s.SolveWeighted(4, w, DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveWeightedErrors(t *testing.T) {
+	s := solver8()
+	w := TrafficWeights{N: 4}
+	if _, err := s.SolveWeighted(4, w, DCSA); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	w8, _ := WeightsFromMatrix(8, skewedTraffic(8))
+	if _, err := s.SolveWeighted(1024, w8, DCSA); err == nil {
+		t.Fatal("bad link limit accepted")
+	}
+	if _, err := s.SolveWeighted(4, w8, Algorithm("nope")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestWeightedLatencyUniformTrafficMatchesEval(t *testing.T) {
+	// With uniform all-pairs traffic the weighted latency must equal the
+	// unweighted topology evaluation up to the diagonal convention: Eval
+	// divides by N², the weighted version by the number of weighted pairs.
+	n := 4
+	cfg := model.DefaultConfig(n)
+	nn := n * n
+	g := make([][]float64, nn)
+	for i := range g {
+		g[i] = make([]float64, nn)
+		for j := range g[i] {
+			if i != j {
+				g[i][j] = 1
+			}
+		}
+	}
+	tp := topo.Mesh(n)
+	we, err := WeightedLatency(cfg, tp, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ue, err := cfg.EvalTopology(tp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(nn*nn) / float64(nn*(nn-1))
+	if math.Abs(we.Head-ue.Head*ratio) > 1e-9 {
+		t.Fatalf("weighted head %g vs scaled unweighted %g", we.Head, ue.Head*ratio)
+	}
+}

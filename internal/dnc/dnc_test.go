@@ -1,0 +1,112 @@
+package dnc
+
+import (
+	"math"
+	"testing"
+
+	"explink/internal/bnb"
+	"explink/internal/model"
+	"explink/internal/topo"
+)
+
+var p = model.DefaultParams()
+
+func TestInitialC1IsMesh(t *testing.T) {
+	res := Initial(8, 1, p)
+	if !res.Row.Equal(topo.MeshRow(8)) {
+		t.Fatalf("I(8,1) = %v", res.Row)
+	}
+}
+
+func TestInitialBaseCaseIsOptimal(t *testing.T) {
+	for _, c := range []int{2, 3, 4} {
+		res := Initial(4, c, p)
+		opt := bnb.OptimalRow(4, c, p)
+		if math.Abs(res.Mean-opt.Mean) > 1e-9 {
+			t.Fatalf("I(4,%d) mean %g != optimal %g", c, res.Mean, opt.Mean)
+		}
+	}
+}
+
+func TestInitialFeasible(t *testing.T) {
+	for _, tc := range []struct{ n, c int }{
+		{8, 2}, {8, 4}, {8, 8}, {8, 16},
+		{16, 2}, {16, 4}, {16, 8},
+		{7, 3}, {12, 4}, {16, 64},
+	} {
+		res := Initial(tc.n, tc.c, p)
+		if err := res.Row.Validate(tc.c); err != nil {
+			t.Fatalf("I(%d,%d): %v", tc.n, tc.c, err)
+		}
+		if res.Evals <= 0 {
+			t.Fatalf("I(%d,%d) evals = %d", tc.n, tc.c, res.Evals)
+		}
+		// The reported mean must match the row.
+		if got := model.RowMean(res.Row, p); math.Abs(got-res.Mean) > 1e-9 {
+			t.Fatalf("I(%d,%d) mean mismatch: %g vs %g", tc.n, tc.c, res.Mean, got)
+		}
+	}
+}
+
+func TestInitialImprovesOnMesh(t *testing.T) {
+	meshMean := model.RowMean(topo.MeshRow(8), p)
+	res := Initial(8, 4, p)
+	if res.Mean >= meshMean {
+		t.Fatalf("I(8,4) = %g did not beat mesh %g", res.Mean, meshMean)
+	}
+	// The initial solution should already capture most of the benefit: the
+	// paper's Fig. 7 shows D&C_SA starting far below OnlySA.
+	opt := bnb.OptimalRow(8, 4, p)
+	if res.Mean > opt.Mean*1.25 {
+		t.Fatalf("I(8,4) = %g too far from optimal %g", res.Mean, opt.Mean)
+	}
+}
+
+func TestInitialNeverBelowOptimal(t *testing.T) {
+	for _, tc := range []struct{ n, c int }{{6, 2}, {8, 2}, {8, 3}} {
+		res := Initial(tc.n, tc.c, p)
+		opt := bnb.OptimalRow(tc.n, tc.c, p)
+		if res.Mean < opt.Mean-1e-9 {
+			t.Fatalf("I(%d,%d) = %g beats the optimum %g: bug in one of them",
+				tc.n, tc.c, res.Mean, opt.Mean)
+		}
+	}
+}
+
+func TestInitialMemoReuse(t *testing.T) {
+	// Equal halves must be solved once: I(16,4) splits into two I(8,3),
+	// which split into I(4,2) four times; with the memo the eval count stays
+	// well below the unmemoized recursion.
+	res := Initial(16, 4, p)
+	// Combination at n=16 costs ~64 evals, at n=8 ~16, base cases small:
+	// anything above a few thousand indicates the memo is broken.
+	if res.Evals > 5000 {
+		t.Fatalf("I(16,4) used %d evals; memo broken?", res.Evals)
+	}
+}
+
+func TestInitialOddSizes(t *testing.T) {
+	for _, n := range []int{5, 7, 9, 11, 13, 15} {
+		res := Initial(n, 4, p)
+		if err := res.Row.Validate(4); err != nil {
+			t.Fatalf("I(%d,4): %v", n, err)
+		}
+	}
+}
+
+func TestInitialPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Initial(8, 0, p)
+}
+
+func TestInitialDeterministic(t *testing.T) {
+	a := Initial(16, 8, p)
+	b := Initial(16, 8, p)
+	if !a.Row.Equal(b.Row) || a.Evals != b.Evals {
+		t.Fatal("Initial is not deterministic")
+	}
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"explink/internal/sim"
+	"explink/internal/stats"
+	"explink/internal/traffic"
+)
+
+// RoutingPoint compares XY and O1TURN routing on one topology at one load.
+type RoutingPoint struct {
+	Scheme  string
+	Rate    float64
+	XYLat   float64
+	O1Lat   float64
+	DiffPct float64 // (O1 - XY)/XY latency difference
+}
+
+// RoutingResult reproduces the Section 4.2 justification: "the overall
+// performance difference between XY and adaptive routing is less than 1%"
+// at application loads.
+type RoutingResult struct {
+	N      int
+	Points []RoutingPoint
+}
+
+// AblationRouting simulates Mesh and the optimized placement under both
+// routing modes at light and moderate loads.
+func AblationRouting(o Options) (RoutingResult, error) {
+	const n = 8
+	schemes, err := o.schemes(n)
+	if err != nil {
+		return RoutingResult{}, err
+	}
+	rates := []float64{0.02, 0.05}
+	if o.Quick {
+		rates = []float64{0.02}
+	}
+	out := RoutingResult{N: n}
+	for _, sch := range []Scheme{schemes[0], schemes[2]} { // Mesh and D&C_SA
+		for _, rate := range rates {
+			run := func(mode sim.RoutingMode) (float64, error) {
+				cfg := sim.NewConfig(sch.Topo, sch.C, traffic.UniformRandom(n), rate)
+				o.simPhases(&cfg)
+				cfg.Routing = mode
+				s, err := sim.New(cfg)
+				if err != nil {
+					return 0, err
+				}
+				res, err := s.Run()
+				if err != nil {
+					return 0, err
+				}
+				if res.DeadlockSuspected {
+					return 0, fmt.Errorf("deadlock under %v on %s", mode, sch.Name)
+				}
+				return res.AvgPacketLatency, nil
+			}
+			xy, err := run(sim.RoutingXY)
+			if err != nil {
+				return out, err
+			}
+			o1, err := run(sim.RoutingO1Turn)
+			if err != nil {
+				return out, err
+			}
+			out.Points = append(out.Points, RoutingPoint{
+				Scheme: sch.Name, Rate: rate, XYLat: xy, O1Lat: o1,
+				DiffPct: 100 * (o1 - xy) / xy,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats the routing ablation.
+func (r RoutingResult) Render() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation (Section 4.2): XY vs O1TURN routing on %dx%d, UR traffic", r.N, r.N),
+		"scheme", "rate", "XY latency", "O1TURN latency", "diff %")
+	for _, p := range r.Points {
+		t.AddRow(p.Scheme, fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.2f", p.XYLat), fmt.Sprintf("%.2f", p.O1Lat),
+			fmt.Sprintf("%+.2f", p.DiffPct))
+	}
+	return t.String() + "the paper adopts dimension-order routing because this difference is negligible\nat application loads (Section 4.2).\n"
+}
+
+// BypassPoint compares the four designs at one offered load.
+type BypassPoint struct {
+	Name      string
+	Latencies []float64 // one per rate
+}
+
+// BypassResult contrasts physical express links against virtual express
+// channel-style pipeline bypassing on the plain mesh — the Section 2.1
+// virtual-vs-physical discussion ("two categories ... that are equally
+// competitive"). At near-zero load an idealized bypass keeps full-width
+// links and no serialization penalty, so the bypassed mesh can even beat
+// the express design; as load grows, busy routers disable the bypass while
+// physical links keep working, and the express design takes over.
+type BypassResult struct {
+	N      int
+	Rates  []float64
+	Points []BypassPoint
+}
+
+// AblationBypass simulates four designs under uniform traffic at a light
+// and a loaded injection rate.
+func AblationBypass(o Options) (BypassResult, error) {
+	const n = 8
+	schemes, err := o.schemes(n)
+	if err != nil {
+		return BypassResult{}, err
+	}
+	mesh, dcsa := schemes[0], schemes[2]
+	out := BypassResult{N: n, Rates: []float64{0.02, 0.12}}
+	for _, tc := range []struct {
+		name   string
+		scheme Scheme
+		bypass bool
+	}{
+		{"Mesh", mesh, false},
+		{"Mesh+bypass (VEC-like)", mesh, true},
+		{"D&C_SA", dcsa, false},
+		{"D&C_SA+bypass", dcsa, true},
+	} {
+		p := BypassPoint{Name: tc.name}
+		for _, rate := range out.Rates {
+			cfg := sim.NewConfig(tc.scheme.Topo, tc.scheme.C, traffic.UniformRandom(n), rate)
+			o.simPhases(&cfg)
+			cfg.PipelineBypass = tc.bypass
+			s, err := sim.New(cfg)
+			if err != nil {
+				return out, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return out, err
+			}
+			p.Latencies = append(p.Latencies, res.AvgPacketLatency)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// Render formats the bypass ablation.
+func (r BypassResult) Render() string {
+	header := []string{"design"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("latency @ %.2f", rate))
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation (Section 2.1): physical express links vs pipeline bypass (%dx%d, UR)", r.N, r.N),
+		header...)
+	for _, p := range r.Points {
+		row := []string{p.Name}
+		for _, l := range p.Latencies {
+			row = append(row, fmt.Sprintf("%.2f", l))
+		}
+		t.AddRow(row...)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("an idealized bypass keeps 256-bit links (no serialization penalty), so at\n")
+	b.WriteString("near-zero load it rivals physical express links — the virtual-vs-physical\n")
+	b.WriteString("tie of Section 2.1. Under load the bypass fades (busy routers disable it)\n")
+	b.WriteString("while express links keep their advantage; the two techniques compose.\n")
+	return b.String()
+}

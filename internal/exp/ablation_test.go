@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationGenerator(t *testing.T) {
+	r, err := AblationGenerator(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// The naive generator must waste a visible share of its budget.
+		if p.NaiveInvalid < 0.1 {
+			t.Fatalf("moves=%d: naive invalid fraction %.2f implausibly low", p.Moves, p.NaiveInvalid)
+		}
+		// Its evaluation count is its budget minus the waste.
+		if p.NaiveEvals >= int64(p.Moves) {
+			t.Fatalf("moves=%d: naive evals %d not reduced by waste", p.Moves, p.NaiveEvals)
+		}
+		// The matrix generator spends (almost) every move on an evaluation.
+		if p.MatrixEvals < int64(p.Moves) {
+			t.Fatalf("moves=%d: matrix evals %d below budget", p.Moves, p.MatrixEvals)
+		}
+	}
+	// At the largest budget the matrix space should not lose.
+	last := r.Points[len(r.Points)-1]
+	if last.MatrixObj > last.NaiveObj*1.03 {
+		t.Fatalf("matrix %g clearly worse than naive %g", last.MatrixObj, last.NaiveObj)
+	}
+	if !strings.Contains(r.Render(), "naive invalid %") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationRouting(t *testing.T) {
+	r, err := AblationRouting(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 { // 2 schemes x 1 rate in quick mode
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Section 4.2: the difference is small at application loads. Allow
+		// a few percent of simulator noise.
+		if p.DiffPct > 6 || p.DiffPct < -6 {
+			t.Fatalf("%s at %.3f: XY vs O1TURN differ by %.1f%%", p.Scheme, p.Rate, p.DiffPct)
+		}
+	}
+	if !strings.Contains(r.Render(), "O1TURN") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestAblationBypass(t *testing.T) {
+	r, err := AblationBypass(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	byName := map[string][]float64{}
+	for _, p := range r.Points {
+		byName[p.Name] = p.Latencies
+	}
+	const lo, hi = 0, 1
+	// Bypassing must help the mesh at low load.
+	if byName["Mesh+bypass (VEC-like)"][lo] >= byName["Mesh"][lo] {
+		t.Fatalf("bypass did not help the mesh: %v", byName)
+	}
+	// Under load the physical express design must beat the bypassed mesh —
+	// the crossover that motivates physical express links.
+	if byName["D&C_SA"][hi] >= byName["Mesh+bypass (VEC-like)"][hi] {
+		t.Fatalf("no crossover under load: D&C_SA %.2f vs bypassed mesh %.2f",
+			byName["D&C_SA"][hi], byName["Mesh+bypass (VEC-like)"][hi])
+	}
+	// The combined design must be at least as good as plain D&C_SA at both
+	// loads.
+	for i := range r.Rates {
+		if byName["D&C_SA+bypass"][i] > byName["D&C_SA"][i]+1e-9 {
+			t.Fatalf("bypass hurt the express design at rate %.2f", r.Rates[i])
+		}
+	}
+	if !strings.Contains(r.Render(), "bypass") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/stats"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+// AppSpecRow is the application-specific comparison for one benchmark: the
+// traffic-weighted latency of the general-purpose placement versus the
+// placement re-optimized with the benchmark's traffic matrix.
+type AppSpecRow struct {
+	Benchmark   string
+	Generic     float64 // weighted latency of the general-purpose D&C_SA design
+	AppSpecific float64 // weighted latency after per-row/column re-optimization
+	ExtraPct    float64 // additional reduction from knowing the traffic
+}
+
+// AppSpecResult reproduces Section 5.6.4: with traffic statistics collected
+// in advance (here: sampled from the benchmark's proxy pattern, standing in
+// for the paper's profiling run on the baseline mesh), per-row/column
+// re-optimization reduces latency further than the traffic-oblivious design.
+type AppSpecResult struct {
+	N    int
+	C    int
+	Rows []AppSpecRow
+	Avg  float64
+}
+
+// AppSpec runs the flow for every PARSEC proxy (three in quick mode).
+func AppSpec(o Options) (AppSpecResult, error) {
+	const n = 8
+	s := o.solverFor(n)
+	best, _, err := s.Optimize(core.DCSA)
+	if err != nil {
+		return AppSpecResult{}, err
+	}
+	genericTopo := s.Topology(best)
+	out := AppSpecResult{N: n, C: best.C}
+
+	benches := traffic.Benchmarks()
+	samples := 4000
+	if o.Quick {
+		benches = benches[:3]
+		samples = 1000
+	}
+	limits := s.Cfg.BW.FeasibleLimits(topo.LinkLimits(n))
+	if o.Quick {
+		limits = []int{best.C}
+	}
+	for _, b := range benches {
+		rng := stats.NewRNG(stats.MixSeed(o.Seed, 0xa99, uint64(len(b.Name))))
+		gamma := traffic.Matrix(n, b.Pattern(n), samples, rng)
+		w, err := core.WeightsFromMatrix(n, gamma)
+		if err != nil {
+			return out, err
+		}
+		genericEval, err := core.WeightedLatency(s.Cfg, genericTopo, best.C, gamma)
+		if err != nil {
+			return out, err
+		}
+		// With the traffic known, the scheme is free to re-pick the link
+		// limit as well: sweep C and keep the best weighted design.
+		var appEval model.Eval
+		for i, c := range limits {
+			appTopo, err := s.SolveWeighted(c, w, core.DCSA)
+			if err != nil {
+				return out, err
+			}
+			ev, err := core.WeightedLatency(s.Cfg, appTopo, c, gamma)
+			if err != nil {
+				return out, err
+			}
+			if i == 0 || ev.Total < appEval.Total {
+				appEval = ev
+			}
+		}
+		row := AppSpecRow{
+			Benchmark:   b.Name,
+			Generic:     genericEval.Total,
+			AppSpecific: appEval.Total,
+			ExtraPct:    pct(genericEval.Total, appEval.Total),
+		}
+		out.Rows = append(out.Rows, row)
+		out.Avg += row.ExtraPct
+	}
+	out.Avg /= float64(len(out.Rows))
+	return out, nil
+}
+
+// Render formats the per-benchmark comparison.
+func (r AppSpecResult) Render() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Section 5.6.4 (%dx%d, C=%d): application-specific re-optimization", r.N, r.N, r.C),
+		"benchmark", "generic L", "app-specific L", "extra reduction %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark,
+			fmt.Sprintf("%.2f", row.Generic),
+			fmt.Sprintf("%.2f", row.AppSpecific),
+			fmt.Sprintf("%.1f", row.ExtraPct))
+	}
+	return t.String() + fmt.Sprintf("average additional reduction: %.1f%% (paper: 18.1%%)\n", r.Avg)
+}

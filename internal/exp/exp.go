@@ -1,0 +1,69 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (Section 5). Each driver computes the same rows/series the
+// paper plots and renders them as plain-text tables; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+//
+// Experiment index:
+//
+//	Fig5      latency vs link limit C (Mesh, HFB, OnlySA, D&C_SA, L_D, L_S)
+//	Fig6      per-PARSEC-benchmark latency on 8x8 (simulated)
+//	Fig7      placement quality vs normalized runtime (D&C_SA vs OnlySA)
+//	Fig8      synthetic-traffic latency and saturation throughput (simulated)
+//	Fig9      router power per benchmark (simulated + power model)
+//	Fig10     router static power breakdown
+//	Fig11     impact of bisection bandwidth (2KGb/s vs 8KGb/s)
+//	Fig12     D&C_SA vs exhaustive optimal (latency and runtime ratio)
+//	Table2    maximum zero-load latency
+//	AppSpec   application-specific re-optimization (Section 5.6.4)
+//	Headline  the Section 5.2 reduction percentages
+package exp
+
+import (
+	"explink/internal/anneal"
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/topo"
+)
+
+// Options tunes experiment fidelity. Quick shrinks budgets and network sizes
+// so the whole suite runs in seconds (used by tests); the default
+// configuration reproduces the paper's operating points.
+type Options struct {
+	Quick bool
+	Seed  uint64
+}
+
+// DefaultOptions runs experiments at full fidelity.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// QuickOptions runs reduced-size experiments for tests.
+func QuickOptions() Options { return Options{Quick: true, Seed: 1} }
+
+// solverFor builds a solver for an n x n network with the experiment's SA
+// budget.
+func (o Options) solverFor(n int) *core.Solver {
+	s := core.NewSolver(model.DefaultConfig(n))
+	s.Seed = o.Seed
+	if o.Quick {
+		s.Sched = s.Sched.WithMoves(1500)
+	} else {
+		s.Sched = anneal.DefaultSchedule()
+	}
+	return s
+}
+
+// hfbEval scores the hybrid flattened butterfly at its own link budget.
+func hfbEval(cfg model.Config) (topo.Row, model.Eval, error) {
+	row := topo.HFBRow(cfg.N)
+	c := row.MaxCrossSection()
+	ev, err := cfg.EvalRow(row, c)
+	return row, ev, err
+}
+
+// pct returns the percentage reduction of b relative to a.
+func pct(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (1 - b/a)
+}

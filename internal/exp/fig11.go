@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// Fig11Point is one (C, latency) sample of a bandwidth scenario.
+type Fig11Point struct {
+	C     int
+	Width int
+	DCSA  float64
+}
+
+// Fig11Scenario is the latency-vs-C curve at one bisection budget.
+type Fig11Scenario struct {
+	Label     string
+	BaseWidth int // link width the budget affords at C=1
+	Mesh      float64
+	HFB       float64
+	Points    []Fig11Point
+	BestL     float64
+	BestC     int
+}
+
+// Fig11Result reproduces Figure 11: the impact of the bisection bandwidth
+// budget (2 KGb/s vs 8 KGb/s at 1 GHz on 8x8, i.e. 256-bit vs 1024-bit base
+// width) on the mesh and on express-link placements.
+type Fig11Result struct {
+	Scenarios []Fig11Scenario
+}
+
+// Fig11 runs the sweep at both budgets.
+func Fig11(o Options) (Fig11Result, error) {
+	const n = 8
+	scenarios := []struct {
+		label string
+		base  int
+	}{
+		{"2KGb/s", 256},
+		{"8KGb/s", 1024},
+	}
+	var out Fig11Result
+	for _, sc := range scenarios {
+		s := o.solverFor(n)
+		s.Cfg.BW = model.Bandwidth{BaseWidth: sc.base, MaxWidth: 512, MinWidth: 4}
+
+		mesh, err := s.Cfg.EvalRow(topo.MeshRow(n), 1)
+		if err != nil {
+			return out, err
+		}
+		_, hfb, err := hfbEval(s.Cfg)
+		if err != nil {
+			return out, err
+		}
+		best, all, err := s.Optimize(core.DCSA)
+		if err != nil {
+			return out, err
+		}
+		scen := Fig11Scenario{
+			Label: sc.label, BaseWidth: sc.base,
+			Mesh: mesh.Total, HFB: hfb.Total,
+			BestL: best.Eval.Total, BestC: best.C,
+		}
+		for _, sol := range all {
+			scen.Points = append(scen.Points, Fig11Point{C: sol.C, Width: sol.Eval.Width, DCSA: sol.Eval.Total})
+		}
+		out.Scenarios = append(out.Scenarios, scen)
+	}
+	return out, nil
+}
+
+// Render formats one table per bandwidth scenario plus the comparison the
+// paper calls out (how much each design improves when bandwidth quadruples).
+func (r Fig11Result) Render() string {
+	var b strings.Builder
+	for _, sc := range r.Scenarios {
+		t := stats.NewTable(
+			fmt.Sprintf("Fig.11 (8x8, %s bisection, base width %db): latency vs C [Mesh=%.2f, HFB=%.2f]",
+				sc.Label, sc.BaseWidth, sc.Mesh, sc.HFB),
+			"C", "width(b)", "D&C_SA")
+		for _, p := range sc.Points {
+			t.AddRowf(p.C, p.Width, p.DCSA)
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "best: C=%d L=%.2f\n\n", sc.BestC, sc.BestL)
+	}
+	if len(r.Scenarios) == 2 {
+		lo, hi := r.Scenarios[0], r.Scenarios[1]
+		fmt.Fprintf(&b, "bandwidth 4x: mesh %.2f -> %.2f (%.1f%%), D&C_SA %.2f -> %.2f (%.1f%%)\n",
+			lo.Mesh, hi.Mesh, pct(lo.Mesh, hi.Mesh),
+			lo.BestL, hi.BestL, pct(lo.BestL, hi.BestL))
+	}
+	return b.String()
+}

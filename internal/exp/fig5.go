@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"explink/internal/core"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// Fig5Point is one x-position of the Fig. 5 curves: all schemes evaluated at
+// one link limit C.
+type Fig5Point struct {
+	C      int
+	Width  int
+	DCSA   float64 // D&C_SA total latency
+	OnlySA float64
+	HeadD  float64 // L_D component of D&C_SA
+	SerD   float64 // L_S component
+}
+
+// Fig5Size is the full curve set for one network size.
+type Fig5Size struct {
+	N      int
+	Mesh   float64 // fixed design point
+	HFB    float64 // fixed design point (at its own C)
+	HFBC   int
+	Points []Fig5Point
+	BestC  int
+	BestL  float64
+}
+
+// Fig5Result reproduces Figure 5: average packet latency as a function of
+// link limit C on 4x4, 8x8 and 16x16 networks.
+type Fig5Result struct {
+	Sizes []Fig5Size
+}
+
+// Fig5 computes the latency-vs-C curves analytically (zero-load model; the
+// paper's simulated curves add a small uniform contention term that shifts
+// but does not reshape them).
+func Fig5(o Options) (Fig5Result, error) {
+	sizes := []int{4, 8, 16}
+	if o.Quick {
+		sizes = []int{4, 8}
+	}
+	var out Fig5Result
+	for _, n := range sizes {
+		s := o.solverFor(n)
+
+		meshEval, err := s.Cfg.EvalRow(topo.MeshRow(n), 1)
+		if err != nil {
+			return out, err
+		}
+		_, hfb, err := hfbEval(s.Cfg)
+		if err != nil {
+			return out, err
+		}
+		size := Fig5Size{N: n, Mesh: meshEval.Total, HFB: hfb.Total, HFBC: hfb.C}
+
+		_, dcsaAll, err := s.Optimize(core.DCSA)
+		if err != nil {
+			return out, err
+		}
+		_, onlyAll, err := s.Optimize(core.OnlySA)
+		if err != nil {
+			return out, err
+		}
+		for i, sol := range dcsaAll {
+			p := Fig5Point{
+				C:      sol.C,
+				Width:  sol.Eval.Width,
+				DCSA:   sol.Eval.Total,
+				OnlySA: onlyAll[i].Eval.Total,
+				HeadD:  sol.Eval.Head,
+				SerD:   sol.Eval.Ser,
+			}
+			size.Points = append(size.Points, p)
+			if size.BestL == 0 || p.DCSA < size.BestL {
+				size.BestL, size.BestC = p.DCSA, p.C
+			}
+		}
+		out.Sizes = append(out.Sizes, size)
+	}
+	return out, nil
+}
+
+// Render formats the curves as one table per network size.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	for _, s := range r.Sizes {
+		t := stats.NewTable(
+			fmt.Sprintf("Fig.5 (%dx%d): avg packet latency vs link limit C [Mesh=%.2f, HFB(C=%d)=%.2f]",
+				s.N, s.N, s.Mesh, s.HFBC, s.HFB),
+			"C", "width(b)", "D&C_SA", "OnlySA", "L_D", "L_S")
+		for _, p := range s.Points {
+			t.AddRowf(p.C, p.Width, p.DCSA, p.OnlySA, p.HeadD, p.SerD)
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "best: C=%d L=%.2f (%.1f%% vs Mesh, %.1f%% vs HFB)\n\n",
+			s.BestC, s.BestL, pct(s.Mesh, s.BestL), pct(s.HFB, s.BestL))
+	}
+	return b.String()
+}
+
+// Headline extracts the Section 5.2 comparison numbers from the Fig. 5 data:
+// percentage latency reduction of D&C_SA over Mesh and HFB per network size,
+// plus the D&C_SA-vs-OnlySA gap.
+type Headline struct {
+	N          int
+	VsMesh     float64 // % reduction of D&C_SA vs mesh
+	VsHFB      float64
+	OnlySAOver float64 // % by which OnlySA exceeds D&C_SA at the best C
+}
+
+// Headlines computes the headline reductions from a Fig. 5 result.
+func (r Fig5Result) Headlines() []Headline {
+	var out []Headline
+	for _, s := range r.Sizes {
+		h := Headline{N: s.N, VsMesh: pct(s.Mesh, s.BestL), VsHFB: pct(s.HFB, s.BestL)}
+		for _, p := range s.Points {
+			if p.C == s.BestC && s.BestL > 0 {
+				h.OnlySAOver = 100 * (p.OnlySA - p.DCSA) / p.DCSA
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}

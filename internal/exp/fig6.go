@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+
+	"explink/internal/core"
+	"explink/internal/sim"
+	"explink/internal/stats"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+// Scheme is one topology under test in the simulated experiments.
+type Scheme struct {
+	Name  string
+	Topo  topo.Topology
+	C     int
+	Width int
+}
+
+// schemes returns the paper's three comparison designs for an n x n network:
+// Mesh, HFB, and the best D&C_SA placement.
+func (o Options) schemes(n int) ([]Scheme, error) {
+	s := o.solverFor(n)
+	best, _, err := s.Optimize(core.DCSA)
+	if err != nil {
+		return nil, err
+	}
+	hfbRow := topo.HFBRow(n)
+	hfbC := hfbRow.MaxCrossSection()
+	widthOf := func(c int) int {
+		w, err := s.Cfg.BW.Width(c)
+		if err != nil {
+			return 0
+		}
+		return w
+	}
+	return []Scheme{
+		{Name: "Mesh", Topo: topo.Mesh(n), C: 1, Width: widthOf(1)},
+		{Name: "HFB", Topo: topo.Uniform("HFB", n, hfbRow), C: hfbC, Width: widthOf(hfbC)},
+		{Name: "D&C_SA", Topo: topo.Uniform("D&C_SA", n, best.Row), C: best.C, Width: widthOf(best.C)},
+	}, nil
+}
+
+// simPhases applies quick-mode cycle budgets.
+func (o Options) simPhases(cfg *sim.Config) {
+	if o.Quick {
+		cfg.Warmup, cfg.Measure, cfg.Drain = 500, 2000, 10000
+	} else {
+		cfg.Warmup, cfg.Measure, cfg.Drain = 2000, 10000, 40000
+	}
+	cfg.Seed = o.Seed
+}
+
+// Fig6Cell is one benchmark x scheme measurement.
+type Fig6Cell struct {
+	Benchmark string
+	Scheme    Scheme
+	Result    sim.Result
+}
+
+// Fig6Result reproduces Figure 6: cycle-accurate average packet latency of
+// every PARSEC benchmark proxy on the 8x8 network for Mesh, HFB and D&C_SA.
+type Fig6Result struct {
+	N       int
+	Schemes []Scheme
+	Cells   [][]Fig6Cell // [benchmark][scheme]
+	Names   []string
+}
+
+// Fig6 runs the full benchmark x topology grid.
+func Fig6(o Options) (Fig6Result, error) {
+	const n = 8
+	schemes, err := o.schemes(n)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	benches := traffic.Benchmarks()
+	if o.Quick {
+		benches = benches[:3]
+	}
+	out := Fig6Result{N: n, Schemes: schemes}
+
+	// Build the whole benchmark x scheme grid of configs and run it in
+	// parallel; each cell is an independent, seeded simulation.
+	var cfgs []sim.Config
+	for _, b := range benches {
+		for _, sch := range schemes {
+			cfg := sim.NewConfig(sch.Topo, sch.C, b.Pattern(n), b.InjRate)
+			o.simPhases(&cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := sim.RunMany(cfgs, 0)
+	if err != nil {
+		return out, fmt.Errorf("fig6: %w", err)
+	}
+	i := 0
+	for _, b := range benches {
+		var row []Fig6Cell
+		for _, sch := range schemes {
+			res := results[i]
+			i++
+			res.Topology = sch.Name
+			row = append(row, Fig6Cell{Benchmark: b.Name, Scheme: sch, Result: res})
+		}
+		out.Cells = append(out.Cells, row)
+		out.Names = append(out.Names, b.Name)
+	}
+	return out, nil
+}
+
+// Average returns the per-scheme latency averaged over benchmarks.
+func (r Fig6Result) Average() []float64 {
+	avg := make([]float64, len(r.Schemes))
+	for _, row := range r.Cells {
+		for i, c := range row {
+			avg[i] += c.Result.AvgPacketLatency
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(r.Cells))
+	}
+	return avg
+}
+
+// Render formats the per-benchmark latency table.
+func (r Fig6Result) Render() string {
+	header := []string{"benchmark"}
+	for _, s := range r.Schemes {
+		header = append(header, fmt.Sprintf("%s(C=%d)", s.Name, s.C))
+	}
+	header = append(header, "D&C_SA vs Mesh %")
+	t := stats.NewTable(fmt.Sprintf("Fig.6 (%dx%d): avg packet latency per PARSEC benchmark (cycles, simulated)", r.N, r.N), header...)
+	for bi, row := range r.Cells {
+		cells := []string{r.Names[bi]}
+		for _, c := range row {
+			cells = append(cells, fmt.Sprintf("%.2f", c.Result.AvgPacketLatency))
+		}
+		cells = append(cells, fmt.Sprintf("%.1f", pct(row[0].Result.AvgPacketLatency, row[len(row)-1].Result.AvgPacketLatency)))
+		t.AddRow(cells...)
+	}
+	avg := r.Average()
+	avgRow := []string{"average"}
+	for _, a := range avg {
+		avgRow = append(avgRow, fmt.Sprintf("%.2f", a))
+	}
+	avgRow = append(avgRow, fmt.Sprintf("%.1f", pct(avg[0], avg[len(avg)-1])))
+	t.AddRow(avgRow...)
+	return t.String()
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"explink/internal/sim"
+	"explink/internal/stats"
+	"explink/internal/traffic"
+)
+
+// Fig8Cell is one traffic-pattern x scheme measurement: latency at a light
+// representative load and the saturation throughput.
+type Fig8Cell struct {
+	Pattern    string
+	Scheme     string
+	Latency    float64 // avg packet latency at the probe rate
+	Saturation float64 // accepted packets/node/cycle at saturation
+}
+
+// Fig8Result reproduces Figure 8: network latency (a) and throughput (b) for
+// uniform-random, transpose and bit-reverse traffic on the 8x8 network.
+type Fig8Result struct {
+	N         int
+	ProbeRate float64
+	Patterns  []string
+	Schemes   []string
+	Cells     [][]Fig8Cell // [pattern][scheme]
+}
+
+// Fig8 runs the latency probes and saturation sweeps.
+func Fig8(o Options) (Fig8Result, error) {
+	const n = 8
+	schemes, err := o.schemes(n)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	patterns := []traffic.Pattern{
+		traffic.UniformRandom(n), traffic.Transpose(n), traffic.BitReverse(n),
+	}
+	out := Fig8Result{N: n, ProbeRate: 0.02}
+	for _, s := range schemes {
+		out.Schemes = append(out.Schemes, s.Name)
+	}
+
+	satOpts := sim.DefaultSaturationOpts()
+	if o.Quick {
+		satOpts.Refine = 2
+		satOpts.Start = 0.01
+		satOpts.Factor = 2
+	}
+
+	// Each (pattern, scheme) cell runs its probe and its saturation sweep
+	// independently; fan the grid out across goroutines.
+	type job struct{ pi, si int }
+	var jobs []job
+	for pi := range patterns {
+		out.Patterns = append(out.Patterns, patterns[pi].Name())
+		out.Cells = append(out.Cells, make([]Fig8Cell, len(schemes)))
+		for si := range schemes {
+			jobs = append(jobs, job{pi, si})
+		}
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pat, sch := patterns[j.pi], schemes[j.si]
+			cfg := sim.NewConfig(sch.Topo, sch.C, pat, out.ProbeRate)
+			o.simPhases(&cfg)
+			if o.Quick {
+				cfg.Warmup, cfg.Measure, cfg.Drain = 300, 1500, 6000
+			}
+			s, err := sim.New(cfg)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			res, err := s.Run()
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			sweep, err := sim.FindSaturation(cfg, satOpts)
+			if err != nil {
+				errs[ji] = fmt.Errorf("fig8 %s/%s saturation: %w", pat.Name(), sch.Name, err)
+				return
+			}
+			out.Cells[j.pi][j.si] = Fig8Cell{
+				Pattern:    pat.Name(),
+				Scheme:     sch.Name,
+				Latency:    res.AvgPacketLatency,
+				Saturation: sweep.Saturation,
+			}
+		}(ji, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Averages returns the per-scheme latency and throughput averaged over
+// patterns (the "Avg" bars of Fig. 8).
+func (r Fig8Result) Averages() (lat, thr []float64) {
+	lat = make([]float64, len(r.Schemes))
+	thr = make([]float64, len(r.Schemes))
+	for _, row := range r.Cells {
+		for i, c := range row {
+			lat[i] += c.Latency
+			thr[i] += c.Saturation
+		}
+	}
+	for i := range lat {
+		lat[i] /= float64(len(r.Cells))
+		thr[i] /= float64(len(r.Cells))
+	}
+	return lat, thr
+}
+
+// Render formats the two panels as tables.
+func (r Fig8Result) Render() string {
+	var b strings.Builder
+	latT := stats.NewTable(
+		fmt.Sprintf("Fig.8a (%dx%d): avg packet latency at rate %.3f (cycles, simulated)", r.N, r.N, r.ProbeRate),
+		append([]string{"pattern"}, r.Schemes...)...)
+	thrT := stats.NewTable(
+		fmt.Sprintf("Fig.8b (%dx%d): saturation throughput (packets/node/cycle)", r.N, r.N),
+		append([]string{"pattern"}, r.Schemes...)...)
+	for pi, row := range r.Cells {
+		lat := []string{r.Patterns[pi]}
+		thr := []string{r.Patterns[pi]}
+		for _, c := range row {
+			lat = append(lat, fmt.Sprintf("%.2f", c.Latency))
+			thr = append(thr, fmt.Sprintf("%.4f", c.Saturation))
+		}
+		latT.AddRow(lat...)
+		thrT.AddRow(thr...)
+	}
+	avgLat, avgThr := r.Averages()
+	latRow, thrRow := []string{"Avg"}, []string{"Avg"}
+	for i := range r.Schemes {
+		latRow = append(latRow, fmt.Sprintf("%.2f", avgLat[i]))
+		thrRow = append(thrRow, fmt.Sprintf("%.4f", avgThr[i]))
+	}
+	latT.AddRow(latRow...)
+	thrT.AddRow(thrRow...)
+	b.WriteString(latT.String())
+	b.WriteString("\n")
+	b.WriteString(thrT.String())
+	return b.String()
+}

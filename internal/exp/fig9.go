@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"explink/internal/power"
+	"explink/internal/stats"
+)
+
+// Fig9Cell is one benchmark x scheme power estimate.
+type Fig9Cell struct {
+	Benchmark string
+	Scheme    string
+	Report    power.Report
+}
+
+// Fig9Result reproduces Figure 9 (router power per PARSEC benchmark,
+// static + dynamic, normalized to the mesh total) and carries the data for
+// Figure 10 (static breakdown).
+type Fig9Result struct {
+	N       int
+	Schemes []Scheme
+	Names   []string
+	Cells   [][]Fig9Cell // [benchmark][scheme]
+}
+
+// Fig9 estimates power from fresh simulation runs (it shares the Fig. 6
+// grid; pass an existing Fig6Result to Fig9FromRuns to avoid re-simulating).
+func Fig9(o Options) (Fig9Result, error) {
+	f6, err := Fig6(o)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	return Fig9FromRuns(f6)
+}
+
+// Fig9FromRuns converts a Fig. 6 simulation grid into power estimates.
+func Fig9FromRuns(f6 Fig6Result) (Fig9Result, error) {
+	m := power.DefaultModel()
+	out := Fig9Result{N: f6.N, Schemes: f6.Schemes, Names: f6.Names}
+	for _, row := range f6.Cells {
+		var prow []Fig9Cell
+		for _, cell := range row {
+			rep, err := m.Estimate(cell.Scheme.Topo, cell.Scheme.Width, cell.Result)
+			if err != nil {
+				return out, err
+			}
+			rep.Topology = cell.Scheme.Name
+			prow = append(prow, Fig9Cell{Benchmark: cell.Benchmark, Scheme: cell.Scheme.Name, Report: rep})
+		}
+		out.Cells = append(out.Cells, prow)
+	}
+	return out, nil
+}
+
+// AverageTotals returns per-scheme (dynamic, static, total) watts averaged
+// over benchmarks.
+func (r Fig9Result) AverageTotals() (dyn, stat, total []float64) {
+	k := len(r.Schemes)
+	dyn, stat, total = make([]float64, k), make([]float64, k), make([]float64, k)
+	for _, row := range r.Cells {
+		for i, c := range row {
+			dyn[i] += c.Report.Dynamic.Total()
+			stat[i] += c.Report.Static.Total()
+			total[i] += c.Report.Total()
+		}
+	}
+	for i := 0; i < k; i++ {
+		n := float64(len(r.Cells))
+		dyn[i] /= n
+		stat[i] /= n
+		total[i] /= n
+	}
+	return dyn, stat, total
+}
+
+// Render formats the normalized power table of Fig. 9.
+func (r Fig9Result) Render() string {
+	header := []string{"benchmark"}
+	for _, s := range r.Schemes {
+		header = append(header, s.Name+"(s)", s.Name+"(d)")
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Fig.9 (%dx%d): router power per benchmark, normalized to the Mesh total", r.N, r.N),
+		header...)
+	for bi, row := range r.Cells {
+		meshTotal := row[0].Report.Total()
+		cells := []string{r.Names[bi]}
+		for _, c := range row {
+			cells = append(cells,
+				fmt.Sprintf("%.3f", c.Report.Static.Total()/meshTotal),
+				fmt.Sprintf("%.3f", c.Report.Dynamic.Total()/meshTotal))
+		}
+		t.AddRow(cells...)
+	}
+	dyn, stat, total := r.AverageTotals()
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("average watts: ")
+	for i, s := range r.Schemes {
+		fmt.Fprintf(&b, "%s dyn=%.3f static=%.3f total=%.3f", s.Name, dyn[i], stat[i], total[i])
+		if i+1 < len(r.Schemes) {
+			b.WriteString(" | ")
+		}
+	}
+	b.WriteString("\n")
+	if len(total) == 3 {
+		fmt.Fprintf(&b, "total power: D&C_SA vs Mesh %.1f%%, vs HFB %.1f%%; dynamic: vs Mesh %.1f%%, vs HFB %.1f%%\n",
+			pct(total[0], total[2]), pct(total[1], total[2]),
+			pct(dyn[0], dyn[2]), pct(dyn[1], dyn[2]))
+	}
+	return b.String()
+}
+
+// Fig10Result reproduces Figure 10: the router static power breakdown
+// (buffer / crossbar / other) per scheme, in watts.
+type Fig10Result struct {
+	Schemes []string
+	Buffer  []float64
+	Xbar    []float64
+	Other   []float64
+}
+
+// Fig10 computes the structural static breakdown; no simulation is needed.
+func Fig10(o Options) (Fig10Result, error) {
+	schemes, err := o.schemes(8)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	m := power.DefaultModel()
+	var out Fig10Result
+	for _, s := range schemes {
+		br := power.Static(s.Topo, s.Width, m.BufBitsPerRouter, m.Static)
+		out.Schemes = append(out.Schemes, s.Name)
+		out.Buffer = append(out.Buffer, br.Buffer)
+		out.Xbar = append(out.Xbar, br.Crossbar)
+		out.Other = append(out.Other, br.Other)
+	}
+	return out, nil
+}
+
+// Render formats the breakdown table.
+func (r Fig10Result) Render() string {
+	t := stats.NewTable("Fig.10 (8x8): router static power breakdown (W, network total)",
+		"scheme", "buffer", "crossbar", "other", "total")
+	for i, s := range r.Schemes {
+		total := r.Buffer[i] + r.Xbar[i] + r.Other[i]
+		t.AddRow(s,
+			fmt.Sprintf("%.3f", r.Buffer[i]),
+			fmt.Sprintf("%.3f", r.Xbar[i]),
+			fmt.Sprintf("%.3f", r.Other[i]),
+			fmt.Sprintf("%.3f", total))
+	}
+	return t.String()
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"explink/internal/sim"
+	"explink/internal/stats"
+	"explink/internal/traffic"
+)
+
+// LoadPoint is one offered-rate sample of the load-latency curves.
+type LoadPoint struct {
+	Rate      float64
+	Latencies []float64 // one per scheme; NaN-free, 0 marks an unstable point
+	Stable    []bool
+}
+
+// LoadLatencyResult is the classic NoC load-latency figure for the three
+// designs: flat latency at low load, then the hockey-stick as each design
+// approaches its saturation point. The paper reports only the two endpoints
+// (Fig. 8a's low-load latency and Fig. 8b's saturation throughput); this
+// driver produces the full curve connecting them.
+type LoadLatencyResult struct {
+	N       int
+	Pattern string
+	Schemes []string
+	Points  []LoadPoint
+}
+
+// LoadLatency sweeps uniform-random offered load across all three designs.
+func LoadLatency(o Options) (LoadLatencyResult, error) {
+	const n = 8
+	schemes, err := o.schemes(n)
+	if err != nil {
+		return LoadLatencyResult{}, err
+	}
+	rates := []float64{0.01, 0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20, 0.26, 0.32}
+	if o.Quick {
+		rates = []float64{0.01, 0.06, 0.12}
+	}
+	out := LoadLatencyResult{N: n, Pattern: "UR"}
+	for _, s := range schemes {
+		out.Schemes = append(out.Schemes, s.Name)
+	}
+	var cfgs []sim.Config
+	for _, rate := range rates {
+		for _, sch := range schemes {
+			cfg := sim.NewConfig(sch.Topo, sch.C, traffic.UniformRandom(n), rate)
+			o.simPhases(&cfg)
+			if o.Quick {
+				cfg.Warmup, cfg.Measure, cfg.Drain = 300, 1500, 6000
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := sim.RunMany(cfgs, 0)
+	if err != nil {
+		return out, err
+	}
+	i := 0
+	for _, rate := range rates {
+		p := LoadPoint{Rate: rate}
+		for range schemes {
+			res := results[i]
+			i++
+			p.Latencies = append(p.Latencies, res.AvgPacketLatency)
+			p.Stable = append(p.Stable, res.Drained && !res.DeadlockSuspected)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// Render formats the curves as a table; unstable points are marked.
+func (r LoadLatencyResult) Render() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Load-latency curves (%dx%d, %s): avg packet latency vs offered rate", r.N, r.N, r.Pattern),
+		append([]string{"rate"}, r.Schemes...)...)
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%.3f", p.Rate)}
+		for i, l := range p.Latencies {
+			cell := fmt.Sprintf("%.2f", l)
+			if !p.Stable[i] {
+				cell += "*"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString("* network past saturation at this offered load (did not drain)\n")
+	return b.String()
+}

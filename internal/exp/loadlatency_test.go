@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadLatency(t *testing.T) {
+	r, err := LoadLatency(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 || len(r.Schemes) != 3 {
+		t.Fatalf("grid %dx%d", len(r.Points), len(r.Schemes))
+	}
+	// At the lowest rate everyone is stable and D&C_SA is fastest.
+	first := r.Points[0]
+	for i, ok := range first.Stable {
+		if !ok {
+			t.Fatalf("%s unstable at the probe rate", r.Schemes[i])
+		}
+	}
+	if !(first.Latencies[2] < first.Latencies[0] && first.Latencies[2] < first.Latencies[1]) {
+		t.Fatalf("low-load ordering wrong: %v", first.Latencies)
+	}
+	// Latency must not decrease with load for any scheme while stable.
+	for si := range r.Schemes {
+		prev := 0.0
+		for _, p := range r.Points {
+			if !p.Stable[si] {
+				break
+			}
+			if p.Latencies[si] < prev-0.5 { // small simulator noise allowed
+				t.Fatalf("%s: latency dropped with load: %v", r.Schemes[si], p)
+			}
+			prev = p.Latencies[si]
+		}
+	}
+	if !strings.Contains(r.Render(), "Load-latency") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestMicroarch(t *testing.T) {
+	r, err := Microarch(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.VCs) != 2 || len(r.Buffers) != 2 {
+		t.Fatalf("quick microarch: %d VC points, %d buffer points", len(r.VCs), len(r.Buffers))
+	}
+	// Zero-load latency barely moves with either knob (a few percent).
+	for _, set := range [][]MicroarchPoint{r.VCs, r.Buffers} {
+		base := set[0].Latency
+		for _, p := range set {
+			if p.Latency < base*0.9 || p.Latency > base*1.1 {
+				t.Fatalf("light-load latency sensitive to %s: %.2f vs %.2f", p.Label, p.Latency, base)
+			}
+		}
+	}
+	// More VCs must not hurt the loaded latency.
+	if last := r.VCs[len(r.VCs)-1]; last.LoadedLat > r.VCs[0].LoadedLat*1.05 {
+		t.Fatalf("more VCs worsened loaded latency: %v vs %v", last, r.VCs[0])
+	}
+	if !strings.Contains(r.Render(), "virtual channels") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+
+	"explink/internal/core"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// RobustnessPoint is the latency distribution after k express-link failures.
+type RobustnessPoint struct {
+	Failures int
+	Mean     float64 // mean L_avg over failure trials
+	Worst    float64 // worst trial
+	MeanPct  float64 // mean degradation vs the intact design, %
+}
+
+// RobustnessResult is an extension experiment (not in the paper): express
+// links are extra physical wires that can fail or be disabled (e.g. for
+// power gating); because every row and column keeps its local links, routing
+// tables can always be recomputed around dead express links. This experiment
+// measures how gracefully the optimized design degrades, and checks it never
+// falls below the mesh baseline.
+type RobustnessResult struct {
+	N      int
+	C      int
+	Intact float64
+	Mesh   float64
+	Points []RobustnessPoint
+	Trials int
+}
+
+// Robustness kills k random express links (network-wide) and re-evaluates
+// the analytic average latency with rerouted tables.
+func Robustness(o Options) (RobustnessResult, error) {
+	const n = 8
+	s := o.solverFor(n)
+	best, _, err := s.Optimize(core.DCSA)
+	if err != nil {
+		return RobustnessResult{}, err
+	}
+	base := s.Topology(best)
+	intact, err := s.Cfg.EvalTopology(base, best.C)
+	if err != nil {
+		return RobustnessResult{}, err
+	}
+	// The worst possible damage leaves only the local links, still at the
+	// design's narrow width (dead wires cannot be reclaimed as bandwidth).
+	mesh, err := s.Cfg.EvalRow(topo.MeshRow(n), best.C)
+	if err != nil {
+		return RobustnessResult{}, err
+	}
+
+	trials := 20
+	failures := []int{1, 2, 4, 8, 16}
+	if o.Quick {
+		trials = 5
+		failures = []int{1, 4}
+	}
+	out := RobustnessResult{N: n, C: best.C, Intact: intact.Total, Mesh: mesh.Total, Trials: trials}
+	rng := stats.NewRNG(stats.MixSeed(o.Seed, 0xfa11))
+	for _, k := range failures {
+		var mean stats.Running
+		worst := 0.0
+		for trial := 0; trial < trials; trial++ {
+			damaged := killRandomLinks(base, k, rng)
+			ev, err := s.Cfg.EvalTopology(damaged, best.C)
+			if err != nil {
+				return out, err
+			}
+			mean.Add(ev.Total)
+			if ev.Total > worst {
+				worst = ev.Total
+			}
+		}
+		out.Points = append(out.Points, RobustnessPoint{
+			Failures: k,
+			Mean:     mean.Mean(),
+			Worst:    worst,
+			MeanPct:  100 * (mean.Mean() - intact.Total) / intact.Total,
+		})
+	}
+	return out, nil
+}
+
+// killRandomLinks removes k distinct express links, drawn uniformly over all
+// line instances of the network. If the network runs out of express links the
+// remainder of the budget is ignored.
+func killRandomLinks(t topo.Topology, k int, rng *stats.RNG) topo.Topology {
+	out := topo.Topology{Name: t.Name + "-damaged", W: t.W, H: t.H,
+		Rows: make([]topo.Row, t.H), Cols: make([]topo.Row, t.W)}
+	for y := 0; y < t.H; y++ {
+		out.Rows[y] = t.Rows[y].Clone()
+	}
+	for x := 0; x < t.W; x++ {
+		out.Cols[x] = t.Cols[x].Clone()
+	}
+	for dead := 0; dead < k; dead++ {
+		// Collect every (line, span) choice still alive.
+		type site struct {
+			col  bool
+			line int
+			idx  int
+		}
+		var sites []site
+		for i := 0; i < t.H; i++ {
+			for j := range out.Rows[i].Express {
+				sites = append(sites, site{false, i, j})
+			}
+		}
+		for i := 0; i < t.W; i++ {
+			for j := range out.Cols[i].Express {
+				sites = append(sites, site{true, i, j})
+			}
+		}
+		if len(sites) == 0 {
+			break
+		}
+		pick := sites[rng.Intn(len(sites))]
+		if pick.col {
+			out.Cols[pick.line] = out.Cols[pick.line].Remove(pick.idx)
+		} else {
+			out.Rows[pick.line] = out.Rows[pick.line].Remove(pick.idx)
+		}
+	}
+	return out
+}
+
+// Render formats the robustness study.
+func (r RobustnessResult) Render() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: express-link failures on the %dx%d D&C_SA design (C=%d), %d trials each",
+			r.N, r.N, r.C, r.Trials),
+		"failed links", "mean L_avg", "worst L_avg", "degradation %")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Failures),
+			fmt.Sprintf("%.2f", p.Mean),
+			fmt.Sprintf("%.2f", p.Worst),
+			fmt.Sprintf("%+.2f", p.MeanPct))
+	}
+	return t.String() + fmt.Sprintf("intact design: %.2f; floor with every express link dead (locals only, same width): %.2f\n", r.Intact, r.Mesh)
+}

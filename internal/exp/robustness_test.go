@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustness(t *testing.T) {
+	r, err := Robustness(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	prev := r.Intact
+	for _, p := range r.Points {
+		// Failures can only hurt, and the damage grows with the failure
+		// count.
+		if p.Mean < r.Intact-1e-9 {
+			t.Fatalf("%d failures improved latency: %.2f < intact %.2f", p.Failures, p.Mean, r.Intact)
+		}
+		if p.Mean < prev-1e-9 {
+			t.Fatalf("damage not monotone: %.2f after %.2f", p.Mean, prev)
+		}
+		if p.Worst < p.Mean-1e-9 {
+			t.Fatalf("worst %.2f below mean %.2f", p.Worst, p.Mean)
+		}
+		// And the damaged design never falls below the locals-only floor.
+		if p.Worst > r.Mesh+1e-9 {
+			t.Fatalf("%d failures (%.2f) exceeded the locals-only floor %.2f", p.Failures, p.Worst, r.Mesh)
+		}
+		prev = p.Mean
+	}
+	if !strings.Contains(r.Render(), "failed links") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	r, err := Bottleneck(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var mesh, hfb, dcsa BottleneckRow
+	for _, row := range r.Rows {
+		switch row.Scheme {
+		case "Mesh":
+			mesh = row
+		case "HFB":
+			hfb = row
+		case "D&C_SA":
+			dcsa = row
+		}
+	}
+	// Section 5.4's mechanism: HFB concentrates load far more than the mesh;
+	// the optimized design sits in between (or better).
+	if hfb.Summary.Gini <= mesh.Summary.Gini {
+		t.Fatalf("HFB gini %.3f not above mesh %.3f", hfb.Summary.Gini, mesh.Summary.Gini)
+	}
+	if dcsa.Summary.Gini >= hfb.Summary.Gini {
+		t.Fatalf("D&C_SA gini %.3f not below HFB %.3f", dcsa.Summary.Gini, hfb.Summary.Gini)
+	}
+	if !strings.Contains(r.Render(), "load gini") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 3 || len(r.Schemes) != 3 {
+		t.Fatalf("quick fig6 grid = %dx%d", len(r.Cells), len(r.Schemes))
+	}
+	for bi, row := range r.Cells {
+		for _, c := range row {
+			if c.Result.MeasuredPackets == 0 {
+				t.Fatalf("%s/%s: no packets", c.Benchmark, c.Scheme.Name)
+			}
+			if c.Result.DeadlockSuspected {
+				t.Fatalf("%s/%s: deadlock", c.Benchmark, c.Scheme.Name)
+			}
+		}
+		// D&C_SA must beat the mesh on every benchmark (Fig. 6's message).
+		mesh, dcsa := row[0].Result.AvgPacketLatency, row[2].Result.AvgPacketLatency
+		if dcsa >= mesh {
+			t.Fatalf("%s: D&C_SA %.2f not below mesh %.2f", r.Names[bi], dcsa, mesh)
+		}
+	}
+	avg := r.Average()
+	if !(avg[2] < avg[1] && avg[1] < avg[0]) {
+		t.Fatalf("average ordering violated: mesh=%.2f hfb=%.2f dcsa=%.2f", avg[0], avg[1], avg[2])
+	}
+	if !strings.Contains(r.Render(), "Fig.6") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r, err := Fig8(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 3 {
+		t.Fatalf("patterns = %d", len(r.Cells))
+	}
+	lat, thr := r.Averages()
+	// Fig. 8a: D&C_SA has the lowest average latency.
+	if !(lat[2] < lat[0] && lat[2] < lat[1]) {
+		t.Fatalf("latency ordering: mesh=%.2f hfb=%.2f dcsa=%.2f", lat[0], lat[1], lat[2])
+	}
+	// Fig. 8b: Mesh has the highest throughput; D&C_SA recovers bandwidth
+	// the HFB wastes.
+	if !(thr[0] > thr[2] && thr[2] > thr[1]) {
+		t.Fatalf("throughput ordering: mesh=%.4f hfb=%.4f dcsa=%.4f", thr[0], thr[1], thr[2])
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Fig.8a") || !strings.Contains(out, "Fig.8b") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	f6, err := Fig6(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fig9FromRuns(f6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, stat, total := r.AverageTotals()
+	// Fig. 9's claims: dynamic power of D&C_SA below mesh; static power
+	// similar across schemes; static dominates at these loads.
+	if dyn[2] >= dyn[0] {
+		t.Fatalf("dynamic: dcsa %.3f not below mesh %.3f", dyn[2], dyn[0])
+	}
+	for i := 1; i < 3; i++ {
+		ratio := stat[i] / stat[0]
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("static power diverged: scheme %d ratio %.2f", i, ratio)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if stat[i] < dyn[i] {
+			t.Fatalf("scheme %d: static %.3f below dynamic %.3f at PARSEC loads", i, stat[i], dyn[i])
+		}
+	}
+	_ = total
+	if !strings.Contains(r.Render(), "Fig.9") {
+		t.Fatal("render broken")
+	}
+
+	f10, err := Fig10(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal buffer budgets: identical buffer leakage across schemes.
+	if f10.Buffer[0] != f10.Buffer[1] || f10.Buffer[1] != f10.Buffer[2] {
+		t.Fatalf("buffer static differs: %v", f10.Buffer)
+	}
+	if !strings.Contains(f10.Render(), "Fig.10") {
+		t.Fatal("render broken")
+	}
+}

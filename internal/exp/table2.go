@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"explink/internal/core"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// Table2Row is the worst-case zero-load latency of the three topologies at
+// one network size.
+type Table2Row struct {
+	N     int
+	Mesh  float64
+	HFB   float64
+	DCSA  float64
+	BestC int // link limit of the D&C_SA design used
+}
+
+// Table2Result reproduces Table 2: maximum zero-load packet latency between
+// any two routers, for Mesh, HFB and the best D&C_SA placement on 4x4, 8x8
+// and 16x16 networks.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 computes the worst cases analytically (they are zero-load by
+// definition).
+func Table2(o Options) (Table2Result, error) {
+	sizes := []int{4, 8, 16}
+	if o.Quick {
+		sizes = []int{4, 8}
+	}
+	var out Table2Result
+	for _, n := range sizes {
+		s := o.solverFor(n)
+		cfg := s.Cfg
+
+		mesh, err := cfg.MaxZeroLoad(topo.Mesh(n), 1)
+		if err != nil {
+			return out, err
+		}
+		hfbRow := topo.HFBRow(n)
+		hfbC := hfbRow.MaxCrossSection()
+		hfb, err := cfg.MaxZeroLoad(topo.Uniform("HFB", n, hfbRow), hfbC)
+		if err != nil {
+			return out, err
+		}
+		// Table 2 reports the worst case, so pick the per-C D&C_SA design
+		// that minimizes it (the average-optimal design can have a longer
+		// worst pair, especially on small networks).
+		_, all, err := s.Optimize(core.DCSA)
+		if err != nil {
+			return out, err
+		}
+		dcsa, bestC := 0.0, 0
+		for _, sol := range all {
+			w, err := cfg.MaxZeroLoad(s.Topology(sol), sol.C)
+			if err != nil {
+				return out, err
+			}
+			if bestC == 0 || w < dcsa {
+				dcsa, bestC = w, sol.C
+			}
+		}
+		out.Rows = append(out.Rows, Table2Row{N: n, Mesh: mesh, HFB: hfb, DCSA: dcsa, BestC: bestC})
+	}
+	return out, nil
+}
+
+// Render formats the table in the paper's layout (topologies as rows).
+func (r Table2Result) Render() string {
+	header := []string{"Topology"}
+	for _, row := range r.Rows {
+		header = append(header, fmt.Sprintf("%dx%d", row.N, row.N))
+	}
+	t := stats.NewTable("Table 2: maximum zero-load packet latency (cycles)", header...)
+	mesh := []string{"Mesh"}
+	hfb := []string{"HFB"}
+	dcsa := []string{"D&C_SA"}
+	for _, row := range r.Rows {
+		mesh = append(mesh, fmt.Sprintf("%.1f", row.Mesh))
+		hfb = append(hfb, fmt.Sprintf("%.1f", row.HFB))
+		dcsa = append(dcsa, fmt.Sprintf("%.1f (C=%d)", row.DCSA, row.BestC))
+	}
+	t.AddRow(mesh...)
+	t.AddRow(hfb...)
+	t.AddRow(dcsa...)
+	return t.String()
+}

@@ -1,0 +1,53 @@
+package model
+
+import "fmt"
+
+// Bandwidth captures the bisection-bandwidth constraint of Eq. (3):
+// b·c·n <= B. Rather than carrying B in Gb/s, we parameterize by the link
+// width the budget affords at C = 1 (BaseWidth = B/(n·f) bits); the paper's
+// default configuration has 256-bit links on the baseline mesh, and the
+// bandwidth study of Fig. 11 scales BaseWidth from 128 to 1024 (2 KGb/s to
+// 8 KGb/s at 1 GHz on an 8x8 network).
+type Bandwidth struct {
+	// BaseWidth is the flit width in bits the bisection budget affords when
+	// each cross-section carries a single link (C = 1).
+	BaseWidth int
+	// MaxWidth caps the useful flit width; widths beyond the longest packet
+	// waste wires. 512 bits (the long-packet size) by default.
+	MaxWidth int
+	// MinWidth is the narrowest implementable link, 4 bits by default.
+	MinWidth int
+}
+
+// DefaultBandwidth returns the paper's default budget: 256-bit baseline
+// links, widths capped to the 512-bit long packet, and at least 4-bit links.
+func DefaultBandwidth() Bandwidth {
+	return Bandwidth{BaseWidth: 256, MaxWidth: 512, MinWidth: 4}
+}
+
+// Width returns the link width b for link limit c: min(MaxWidth, BaseWidth/c).
+// It returns an error when the budget cannot support c links of MinWidth.
+func (b Bandwidth) Width(c int) (int, error) {
+	if c < 1 {
+		return 0, fmt.Errorf("model: link limit must be >= 1, got %d", c)
+	}
+	w := b.BaseWidth / c
+	if w > b.MaxWidth {
+		w = b.MaxWidth
+	}
+	if w < b.MinWidth {
+		return 0, fmt.Errorf("model: link limit %d needs width %d below minimum %d", c, w, b.MinWidth)
+	}
+	return w, nil
+}
+
+// FeasibleLimits filters candidate link limits to those the budget supports.
+func (b Bandwidth) FeasibleLimits(candidates []int) []int {
+	var out []int
+	for _, c := range candidates {
+		if _, err := b.Width(c); err == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}

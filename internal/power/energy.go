@@ -1,0 +1,49 @@
+package power
+
+import (
+	"fmt"
+
+	"explink/internal/sim"
+)
+
+// Energy summarizes the energy efficiency of one simulated run, the figures
+// of merit used when comparing NoC designs beyond raw wattage.
+type Energy struct {
+	// TotalJoules is power integrated over the simulated interval.
+	TotalJoules float64
+	// PerPacketNanojoules and PerFlitNanojoules amortize the total over the
+	// delivered traffic.
+	PerPacketNanojoules float64
+	PerFlitNanojoules   float64
+	// EDP is the energy-delay product per packet in nanojoule-nanoseconds:
+	// per-packet energy times average packet latency. Lower is better;
+	// designs can trade energy against latency, and EDP scores the balance.
+	EDP float64
+}
+
+func (e Energy) String() string {
+	return fmt.Sprintf("E=%.4gJ (%.3f nJ/pkt, %.3f nJ/flit, EDP %.2f nJ*ns)",
+		e.TotalJoules, e.PerPacketNanojoules, e.PerFlitNanojoules, e.EDP)
+}
+
+// EnergyOf converts a power report plus the run it came from into energy
+// metrics. It returns an error when the run delivered no traffic.
+func (m Model) EnergyOf(rep Report, res sim.Result) (Energy, error) {
+	if res.Cycles <= 0 || m.FreqGHz <= 0 {
+		return Energy{}, fmt.Errorf("power: energy needs positive cycles and frequency")
+	}
+	if res.Counts.PacketsEjected == 0 || res.Counts.FlitsEjected == 0 {
+		return Energy{}, fmt.Errorf("power: no delivered traffic to amortize energy over")
+	}
+	seconds := float64(res.Cycles) / (m.FreqGHz * 1e9)
+	total := rep.Total() * seconds
+	perPkt := total / float64(res.Counts.PacketsEjected) * 1e9 // nJ
+	perFlit := total / float64(res.Counts.FlitsEjected) * 1e9
+	latencyNS := res.AvgPacketLatency / m.FreqGHz
+	return Energy{
+		TotalJoules:         total,
+		PerPacketNanojoules: perPkt,
+		PerFlitNanojoules:   perFlit,
+		EDP:                 perPkt * latencyNS,
+	}, nil
+}

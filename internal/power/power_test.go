@@ -1,0 +1,224 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/sim"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+func TestStaticMeshCalibration(t *testing.T) {
+	s := Static(topo.Mesh(8), 256, sim.DefaultBufBits, DefaultStatic())
+	// Calibration targets from the package comment.
+	if math.Abs(s.Buffer-0.55) > 0.05 {
+		t.Fatalf("buffer static = %g, want ~0.55", s.Buffer)
+	}
+	if math.Abs(s.Crossbar-0.35) > 0.08 {
+		t.Fatalf("crossbar static = %g, want ~0.35", s.Crossbar)
+	}
+	if math.Abs(s.Total()-1.2) > 0.2 {
+		t.Fatalf("total static = %g, want ~1.2", s.Total())
+	}
+}
+
+func TestBufferStaticEqualAcrossSchemes(t *testing.T) {
+	// Section 4.6: identical buffer budgets mean identical buffer leakage.
+	mesh := Static(topo.Mesh(8), 256, sim.DefaultBufBits, DefaultStatic())
+	hfb := Static(topo.HFB(8), 64, sim.DefaultBufBits, DefaultStatic())
+	if mesh.Buffer != hfb.Buffer {
+		t.Fatalf("buffer static differs: %g vs %g", mesh.Buffer, hfb.Buffer)
+	}
+}
+
+func TestCrossbarStaticStaysBounded(t *testing.T) {
+	// The paper's argument: with express links, width shrinks by C while
+	// ports grow sub-linearly, so crossbar static stays comparable. Check
+	// HFB(8) at C=4 against the mesh.
+	p := DefaultStatic()
+	mesh := Static(topo.Mesh(8), 256, sim.DefaultBufBits, p)
+	hfb := Static(topo.HFB(8), 64, sim.DefaultBufBits, p)
+	ratio := hfb.Crossbar / mesh.Crossbar
+	if ratio > 1.5 || ratio < 0.2 {
+		t.Fatalf("crossbar ratio HFB/mesh = %g, should be comparable", ratio)
+	}
+	// Total static across schemes stays within ~20%, as Fig. 9 shows.
+	if r := hfb.Total() / mesh.Total(); r < 0.8 || r > 1.25 {
+		t.Fatalf("total static ratio = %g", r)
+	}
+}
+
+func TestDynamicScalesWithActivity(t *testing.T) {
+	counts := sim.Counts{BufferWrites: 1000, BufferReads: 1000, SwitchTraversals: 1000, LinkFlitUnits: 1000, VCAllocs: 100}
+	d1, err := Dynamic(counts, 256, 10000, 1.0, DefaultEnergies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts2 := counts
+	counts2.BufferWrites *= 2
+	counts2.BufferReads *= 2
+	counts2.SwitchTraversals *= 2
+	counts2.LinkFlitUnits *= 2
+	counts2.VCAllocs *= 2
+	d2, err := Dynamic(counts2, 256, 10000, 1.0, DefaultEnergies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2.Total()-2*d1.Total()) > 1e-9 {
+		t.Fatalf("dynamic power not linear in activity: %g vs %g", d2.Total(), 2*d1.Total())
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	if _, err := Dynamic(sim.Counts{}, 256, 0, 1, DefaultEnergies()); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+	if _, err := Dynamic(sim.Counts{}, 256, 100, 0, DefaultEnergies()); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+}
+
+// runFor runs a short simulation and estimates power.
+func runFor(t *testing.T, tp topo.Topology, c int, rate float64) Report {
+	t.Helper()
+	cfg := sim.NewConfig(tp, c, traffic.UniformRandom(tp.N()), rate)
+	cfg.Warmup = 500
+	cfg.Measure = 4000
+	cfg.Drain = 20000
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := model.DefaultBandwidth().Width(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DefaultModel().Estimate(tp, w, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestStaticDominatesAtLowLoad(t *testing.T) {
+	// Section 5.5: static power is about two-thirds of the total at typical
+	// (low) application loads.
+	rep := runFor(t, topo.Mesh(8), 1, 0.02)
+	frac := rep.Static.Total() / rep.Total()
+	if frac < 0.5 || frac > 0.9 {
+		t.Fatalf("static fraction = %g, want roughly 2/3", frac)
+	}
+}
+
+func TestExpressReducesDynamicPower(t *testing.T) {
+	// Fewer hops -> less switching activity -> lower dynamic power
+	// (Section 4.6). Compare an optimized placement against the mesh at the
+	// same offered load.
+	solver := core.NewSolver(model.DefaultConfig(8))
+	sol, err := solver.SolveRow(4, core.DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := runFor(t, solver.Topology(sol), 4, 0.02)
+	mesh := runFor(t, topo.Mesh(8), 1, 0.02)
+	if opt.Dynamic.Total() >= mesh.Dynamic.Total() {
+		t.Fatalf("optimized dynamic %.3fW not below mesh %.3fW",
+			opt.Dynamic.Total(), mesh.Dynamic.Total())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := runFor(t, topo.Mesh(4), 1, 0.01)
+	s := rep.String()
+	for _, want := range []string{"dyn=", "static=", "total="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestEnergyMetrics(t *testing.T) {
+	rep := runFor(t, topo.Mesh(8), 1, 0.02)
+	cfg := sim.NewConfig(topo.Mesh(8), 1, traffic.UniformRandom(8), 0.02)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 500, 4000, 20000
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := DefaultModel().EnergyOf(rep, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TotalJoules <= 0 || e.PerPacketNanojoules <= 0 || e.PerFlitNanojoules <= 0 || e.EDP <= 0 {
+		t.Fatalf("degenerate energy: %+v", e)
+	}
+	// A packet has at least one flit, so per-packet energy >= per-flit.
+	if e.PerPacketNanojoules < e.PerFlitNanojoules {
+		t.Fatalf("per-packet %.3f below per-flit %.3f", e.PerPacketNanojoules, e.PerFlitNanojoules)
+	}
+	if e.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestEnergyOfErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.EnergyOf(Report{}, sim.Result{}); err == nil {
+		t.Fatal("zero-cycle run accepted")
+	}
+	if _, err := m.EnergyOf(Report{}, sim.Result{Cycles: 100}); err == nil {
+		t.Fatal("zero-traffic run accepted")
+	}
+}
+
+func TestExpressImprovesEDP(t *testing.T) {
+	// The optimized design should win on energy-delay product: lower latency
+	// and lower dynamic power at similar static power.
+	solver := core.NewSolver(model.DefaultConfig(8))
+	sol, err := solver.SolveRow(4, core.DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edpOf := func(tp topo.Topology, c int) float64 {
+		cfg := sim.NewConfig(tp, c, traffic.UniformRandom(8), 0.02)
+		cfg.Warmup, cfg.Measure, cfg.Drain = 500, 4000, 20000
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := model.DefaultBandwidth().Width(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := DefaultModel().Estimate(tp, w, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := DefaultModel().EnergyOf(rep, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.EDP
+	}
+	meshEDP := edpOf(topo.Mesh(8), 1)
+	optEDP := edpOf(solver.Topology(sol), 4)
+	if optEDP >= meshEDP {
+		t.Fatalf("optimized EDP %.2f not below mesh %.2f", optEDP, meshEDP)
+	}
+}

@@ -1,0 +1,82 @@
+package route
+
+import (
+	"testing"
+
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+func TestRowCDGAcyclicMesh(t *testing.T) {
+	row := topo.MeshRow(8)
+	ok, err := RowCDGAcyclic(row, Compute(row, testParams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("mesh row CDG must be acyclic")
+	}
+}
+
+func TestRowCDGAcyclicRandom(t *testing.T) {
+	rng := stats.NewRNG(71)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(13)
+		row := randomRow(rng, n, 5)
+		ok, err := RowCDGAcyclic(row, Compute(row, testParams))
+		if err != nil {
+			t.Fatalf("row %v: %v", row, err)
+		}
+		if !ok {
+			t.Fatalf("cyclic CDG for row %v", row)
+		}
+	}
+}
+
+func TestTopologyCDGAcyclic(t *testing.T) {
+	for _, tp := range []topo.Topology{
+		topo.Mesh(4),
+		topo.HFB(8),
+		topo.FlattenedButterfly(4),
+	} {
+		ok, err := TopologyCDGAcyclic(tp, testParams)
+		if err != nil {
+			t.Fatalf("%s: %v", tp.Name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: XY routing produced a cyclic CDG", tp.Name)
+		}
+	}
+}
+
+func TestTopologyCDGAcyclicRandomPlacements(t *testing.T) {
+	rng := stats.NewRNG(81)
+	for trial := 0; trial < 10; trial++ {
+		row := randomRow(rng, 8, 4)
+		tp := topo.Uniform("rand", 8, row)
+		ok, err := TopologyCDGAcyclic(tp, testParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("cyclic CDG for placement %v", row)
+		}
+	}
+}
+
+func TestCDGDetectsCycles(t *testing.T) {
+	// Sanity-check the cycle detector itself with a hand-built cycle.
+	g := newCDG()
+	a := channelID{dim: 0, line: 0, from: 0, to: 1}
+	b := channelID{dim: 0, line: 0, from: 1, to: 0}
+	g.addDep(a, b)
+	g.addDep(b, a)
+	if g.acyclic() {
+		t.Fatal("cycle not detected")
+	}
+	g2 := newCDG()
+	g2.addDep(a, b)
+	if !g2.acyclic() {
+		t.Fatal("acyclic graph misreported")
+	}
+}

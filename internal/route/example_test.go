@@ -1,0 +1,23 @@
+package route_test
+
+import (
+	"fmt"
+
+	"explink/internal/route"
+	"explink/internal/topo"
+)
+
+// Directional shortest paths obey the no-U-turn rule: the packet from 0 to 6
+// cannot use the 0-7 express link and come back.
+func ExampleCompute() {
+	row := topo.NewRow(8, topo.Span{From: 0, To: 7})
+	paths := route.Compute(row, route.Params{PerHop: 3, PerUnit: 1})
+	fmt.Println("0 -> 7:", paths.Dist[0][7], "cycles (one express hop)")
+	fmt.Println("0 -> 6:", paths.Dist[0][6], "cycles (six local hops, no U-turn)")
+	p, _ := paths.Path(0, 7)
+	fmt.Println("path 0 -> 7:", p)
+	// Output:
+	// 0 -> 7: 10 cycles (one express hop)
+	// 0 -> 6: 24 cycles (six local hops, no U-turn)
+	// path 0 -> 7: [0 7]
+}

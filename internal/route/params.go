@@ -1,0 +1,27 @@
+// Package route computes the deterministic, deadlock-free routing the paper
+// deploys on express-link rows (Section 4.5.1): per-direction shortest paths
+// within a row (or column), next-hop lookup tables for each router (Fig. 3b),
+// and channel-dependency-graph checks proving deadlock freedom.
+//
+// Packets traverse a row monotonically (no U-turns), so the rightward and
+// leftward link sets form two DAGs. The paper computes shortest paths with
+// Floyd-Warshall run twice, once per direction, masking the opposing edges
+// with infinite weight; this package provides that algorithm verbatim plus an
+// equivalent O(n·(n+m)) DAG dynamic program used as the fast path. Tests
+// assert the two agree.
+package route
+
+// Params carries the per-edge cost model of Eq. (1): traversing a hop costs
+// PerHop cycles of router pipeline (Tr plus average contention Tc), and each
+// unit of link length costs PerUnit cycles (Tl; express links are repeatered,
+// so a span of length d costs d·Tl).
+type Params struct {
+	PerHop  float64
+	PerUnit float64
+}
+
+// EdgeCost returns the head-latency cost of one hop across a link of the
+// given unit length.
+func (p Params) EdgeCost(length int) float64 {
+	return p.PerHop + float64(length)*p.PerUnit
+}

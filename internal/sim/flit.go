@@ -1,0 +1,71 @@
+package sim
+
+// packet is one network packet; flits reference it.
+type packet struct {
+	id       int64
+	src, dst int
+	flits    int   // number of flits at the configured width
+	class    int   // index into Config.Mix
+	created  int64 // cycle the NI generated it
+	injected int64 // cycle the head flit entered the first router buffer
+	done     int64 // cycle the tail flit reached the destination NI
+	ejected  int   // flits delivered to the destination NI so far
+	hops     int   // router-to-router hops taken by the head flit
+	measured bool  // created inside the measurement window
+	yx       bool  // route Y-first (O1TURN's second class); false = XY
+}
+
+// flit is one flow-control unit of a packet.
+type flit struct {
+	pkt *packet
+	seq int32
+}
+
+func (f flit) isHead() bool { return f.seq == 0 }
+func (f flit) isTail() bool { return int(f.seq) == f.pkt.flits-1 }
+
+// bufEntry is a buffered flit plus the cycle it becomes eligible for switch
+// allocation (modeling the router pipeline stages ahead of ST).
+type bufEntry struct {
+	f       flit
+	readyAt int64
+}
+
+// vcFIFO is a fixed-capacity ring buffer of flits, one per virtual channel.
+type vcFIFO struct {
+	buf   []bufEntry
+	head  int
+	count int
+}
+
+func newVCFIFO(depth int) vcFIFO {
+	return vcFIFO{buf: make([]bufEntry, depth)}
+}
+
+func (q *vcFIFO) push(e bufEntry) {
+	if q.count == len(q.buf) {
+		panic("sim: VC buffer overflow — credit flow control violated")
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = e
+	q.count++
+}
+
+func (q *vcFIFO) front() *bufEntry {
+	if q.count == 0 {
+		return nil
+	}
+	return &q.buf[q.head]
+}
+
+func (q *vcFIFO) pop() bufEntry {
+	if q.count == 0 {
+		panic("sim: pop from empty VC buffer")
+	}
+	e := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return e
+}
+
+func (q *vcFIFO) len() int { return q.count }
+func (q *vcFIFO) cap() int { return len(q.buf) }

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UtilizationHeatmap renders an ASCII picture of per-link load: one cell per
+// router, with the utilization of the busiest channel touching each router
+// mapped to a shade. It makes bottlenecks (like the HFB's quadrant boundary)
+// visible at a glance in terminal output.
+//
+// Shades: '.' < 10%, '-' < 25%, '+' < 50%, '#' < 75%, '@' >= 75% of the
+// network's busiest channel.
+func (s *Simulator) UtilizationHeatmap() string {
+	peak := make([]float64, s.nodes)
+	maxUtil := 0.0
+	for _, c := range s.ChannelStats() {
+		for _, id := range []int{c.SrcY*s.w + c.SrcX, c.DstY*s.w + c.DstX} {
+			if c.Utilization > peak[id] {
+				peak[id] = c.Utilization
+			}
+		}
+		if c.Utilization > maxUtil {
+			maxUtil = c.Utilization
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-router peak link utilization (network max %.3f):\n", maxUtil)
+	for y := 0; y < s.h; y++ {
+		for x := 0; x < s.w; x++ {
+			rel := 0.0
+			if maxUtil > 0 {
+				rel = peak[y*s.w+x] / maxUtil
+			}
+			b.WriteByte(shadeFor(rel))
+			if x+1 < s.w {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func shadeFor(rel float64) byte {
+	switch {
+	case rel < 0.10:
+		return '.'
+	case rel < 0.25:
+		return '-'
+	case rel < 0.50:
+		return '+'
+	case rel < 0.75:
+		return '#'
+	default:
+		return '@'
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"explink/internal/stats"
+)
+
+// Counts aggregates datapath activity over a whole run; the power model
+// converts these to dynamic energy (Section 4.6).
+type Counts struct {
+	BufferWrites     int64 // flit writes into input buffers
+	BufferReads      int64 // flit reads out of input buffers
+	SwitchTraversals int64 // crossbar passes
+	LinkFlitUnits    int64 // flit-hops weighted by wire length in unit segments
+	VCAllocs         int64 // successful VC allocations
+	CreditsSent      int64 // credit flits on reverse channels
+	PacketsInjected  int64
+	PacketsEjected   int64
+	FlitsInjected    int64
+	FlitsEjected     int64
+}
+
+// Result reports the measured behaviour of one simulation run. Latency
+// statistics cover packets created during the measurement window; throughput
+// counts every ejection inside the window.
+type Result struct {
+	Topology string
+	Pattern  string
+	InjRate  float64
+
+	Cycles int64 // total simulated cycles
+
+	// Packet latency: creation at the source NI to tail arrival at the
+	// destination NI (includes source queueing and serialization).
+	AvgPacketLatency float64
+	// Network latency: head flit entering the first router to tail arrival.
+	AvgNetLatency float64
+	P95Latency    int
+	P99Latency    int
+	MaxLatency    int
+
+	AvgHops float64
+	// AvgContentionPerHop is the mean queueing delay per hop beyond the
+	// zero-load pipeline latency — the empirical Tc of Section 2.2.
+	AvgContentionPerHop float64
+
+	// Throughput in accepted packets (and flits) per node per cycle during
+	// the measurement window.
+	ThroughputPackets float64
+	ThroughputFlits   float64
+
+	MeasuredPackets   int64
+	Drained           bool
+	DeadlockSuspected bool
+
+	Counts Counts
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s rate=%.4f: lat=%.2f (net %.2f, p99 %d) hops=%.2f tc=%.2f thr=%.4f pkt/node/cy drained=%v",
+		r.Topology, r.Pattern, r.InjRate, r.AvgPacketLatency, r.AvgNetLatency,
+		r.P99Latency, r.AvgHops, r.AvgContentionPerHop, r.ThroughputPackets, r.Drained)
+}
+
+// collector accumulates per-packet statistics during a run.
+type collector struct {
+	latency         *stats.Histogram // packet latency (created -> done)
+	netLatency      stats.Running
+	hops            stats.Running
+	contention      stats.Running
+	ejectedInWindow int64 // packets
+	flitsInWindow   int64
+}
+
+func newCollector() *collector {
+	return &collector{latency: stats.NewHistogram()}
+}

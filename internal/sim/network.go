@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"explink/internal/model"
+	"explink/internal/route"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// buildNetwork instantiates routers, channels, NIs and routing tables from
+// the topology. Duplicate parallel spans are dropped: the deterministic
+// routing tables would never spread load across them, so they only waste
+// ports.
+func (s *Simulator) buildNetwork() {
+	t := s.cfg.Topo
+	w, h := t.W, t.H
+	k := s.cfg.Concentration
+	routers := t.NumRouters()
+	s.w, s.h = w, h
+	s.k = k
+	s.nodes = routers * k // cores
+
+	// Zero-contention routing parameters: the tables must match the analytic
+	// model's paths.
+	rp := route.Params{PerHop: float64(s.cfg.RouterStages), PerUnit: 1}
+	rowPaths := make([]*route.RowPaths, h)
+	colPaths := make([]*route.RowPaths, w)
+	rows := make([]rowLinks, h)
+	cols := make([]rowLinks, w)
+	for y := 0; y < h; y++ {
+		r := t.Rows[y].Dedupe()
+		rowPaths[y] = route.Compute(r, rp)
+		rows[y] = linksOf(r)
+	}
+	for x := 0; x < w; x++ {
+		c := t.Cols[x].Dedupe()
+		colPaths[x] = route.Compute(c, rp)
+		cols[x] = linksOf(c)
+	}
+
+	s.routers = make([]*router, routers)
+	s.nis = make([]*nodeIface, s.nodes)
+	for id := 0; id < routers; id++ {
+		x, y := id%w, id/w
+		r := &router{
+			id: id, x: x, y: y,
+			rowNext: rowPaths[y].Next,
+			colNext: colPaths[x].Next,
+			rowOut:  negOnes(w),
+			colOut:  negOnes(h),
+		}
+		s.routers[id] = r
+	}
+
+	// First pass: create output ports and channels; remember, per router, the
+	// incoming channels so input ports can be sized afterwards.
+	type incoming struct {
+		ch *channel
+	}
+	incomingOf := make([][]incoming, routers)
+	addLink := func(src, dst int, length int) {
+		sr := s.routers[src]
+		ch := &channel{latency: int64(length), lenUnits: int64(length), src: sr, dst: s.routers[dst]}
+		op := outPort{ch: ch}
+		sr.out = append(sr.out, op)
+		s.channels = append(s.channels, ch)
+		incomingOf[dst] = append(incomingOf[dst], incoming{ch: ch})
+	}
+	for id := 0; id < routers; id++ {
+		r := s.routers[id]
+		// out[0..k) are the per-core ejection ports.
+		for slot := 0; slot < k; slot++ {
+			r.out = append(r.out, outPort{isEject: true})
+		}
+		// Row (X) neighbors, then column (Y) neighbors, in ascending position.
+		for _, nb := range rows[r.y].neighbors[r.x] {
+			r.rowOut[nb] = int32(len(r.out))
+			addLink(id, r.y*w+nb, absInt(nb-r.x))
+		}
+		for _, nb := range cols[r.x].neighbors[r.y] {
+			r.colOut[nb] = int32(len(r.out))
+			addLink(id, nb*w+r.x, absInt(nb-r.y))
+		}
+	}
+
+	// Second pass: input ports (injection first, then one per incoming
+	// channel) with depths from the fixed per-router buffer budget, and the
+	// matching credit counters on the upstream output ports.
+	for id := 0; id < routers; id++ {
+		r := s.routers[id]
+		numIn := k + len(incomingOf[id])
+		depth := s.cfg.vcDepth(numIn)
+		r.in = make([]inPort, 0, numIn)
+
+		for slot := 0; slot < k; slot++ {
+			core := id*k + slot
+			ni := &nodeIface{
+				id:       core,
+				rng:      stats.NewRNG(stats.MixSeed(s.cfg.Seed, uint64(core))),
+				curVC:    -1,
+				credits:  make([]int, s.cfg.VCs),
+				injector: r,
+				inPort:   slot,
+			}
+			for v := range ni.credits {
+				ni.credits[v] = depth
+			}
+			s.nis[core] = ni
+			r.in = append(r.in, makeInPort(s.cfg.VCs, depth, nil, 0, ni))
+		}
+		for _, inc := range incomingOf[id] {
+			r.in = append(r.in, makeInPort(s.cfg.VCs, depth, nil, inc.ch.latency, nil))
+			inc.ch.dstPort = len(r.in) - 1
+		}
+	}
+
+	// Third pass: wire credit returns and credit counters now that both
+	// sides exist, and size ejection ports.
+	for id := 0; id < routers; id++ {
+		r := s.routers[id]
+		for oi := range r.out {
+			op := &r.out[oi]
+			if op.isEject {
+				op.credits = make([]int, s.cfg.VCs)
+				op.holder = negOnes32(s.cfg.VCs)
+				for v := range op.credits {
+					op.credits[v] = 1 << 30 // the NI sink never backpressures
+				}
+				continue
+			}
+			dst := op.ch.dst
+			dstIn := &dst.in[op.ch.dstPort]
+			dstIn.upOut = op
+			op.credits = make([]int, s.cfg.VCs)
+			op.holder = negOnes32(s.cfg.VCs)
+			for v := range op.credits {
+				op.credits[v] = dstIn.vcs[v].fifo.cap()
+			}
+		}
+	}
+	s.inCand = make([]int, s.maxInPorts())
+
+	// Ideal pairwise head latencies for the contention metric (XY order, and
+	// the YX mirror when O1TURN is enabled).
+	p := model.Params{RouterDelay: float64(s.cfg.RouterStages), LinkDelay: 1, Contention: 0}
+	tp := model.ComputeTopoPaths(t, p)
+	cores := s.nodes
+	s.idealHead = make([][]float64, cores)
+	for src := 0; src < cores; src++ {
+		s.idealHead[src] = make([]float64, cores)
+		for dst := 0; dst < cores; dst++ {
+			s.idealHead[src][dst] = tp.PairHead(src/k, dst/k)
+		}
+	}
+	if s.cfg.Routing == RoutingO1Turn {
+		s.idealHeadYX = make([][]float64, cores)
+		for src := 0; src < cores; src++ {
+			s.idealHeadYX[src] = make([]float64, cores)
+			sr := src / k
+			sx, sy := sr%w, sr/w
+			for dst := 0; dst < cores; dst++ {
+				dr := dst / k
+				dx, dy := dr%w, dr/w
+				s.idealHeadYX[src][dst] = colPaths[sx].Dist[sy][dy] + rowPaths[dy].Dist[sx][dx]
+			}
+		}
+	}
+}
+
+func makeInPort(vcs, depth int, up *outPort, upLat int64, ni *nodeIface) inPort {
+	ip := inPort{vcs: make([]vcState, vcs), upOut: up, upLatency: upLat, ni: ni}
+	for v := range ip.vcs {
+		ip.vcs[v] = vcState{fifo: newVCFIFO(depth), outPort: -1, outVC: -1}
+	}
+	return ip
+}
+
+// rowLinks caches, per position on a line, the sorted distinct neighbors.
+type rowLinks struct {
+	neighbors [][]int
+}
+
+func linksOf(r topo.Row) rowLinks {
+	nb := make([][]int, r.N)
+	for i := 0; i < r.N; i++ {
+		nb[i] = r.Neighbors(i)
+	}
+	return rowLinks{neighbors: nb}
+}
+
+func negOnes(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+func negOnes32(n int) []int32 { return negOnes(n) }
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s *Simulator) maxInPorts() int {
+	m := 0
+	for _, r := range s.routers {
+		if len(r.in) > m {
+			m = len(r.in)
+		}
+	}
+	return m
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"explink/internal/stats"
+)
+
+// nodeIface is the per-node network interface: it generates packets per the
+// traffic pattern, queues their flits in an unbounded source queue, feeds
+// them into the router's injection port under credit flow control (one flit
+// per cycle over a one-cycle local link), and sinks ejected flits.
+type nodeIface struct {
+	id  int
+	rng *stats.RNG
+
+	srcQ     []flit
+	sqHead   int
+	curVC    int // VC carrying the packet currently streaming, -1 if none
+	credits  []int
+	creditQ  []creditEvt
+	cqHead   int
+	injector *router
+	inPort   int // index of the injection inPort on the router
+}
+
+func (ni *nodeIface) queued() int { return len(ni.srcQ) - ni.sqHead }
+
+func (ni *nodeIface) pushFlits(p *packet) {
+	for s := 0; s < p.flits; s++ {
+		ni.srcQ = append(ni.srcQ, flit{pkt: p, seq: int32(s)})
+	}
+}
+
+func (ni *nodeIface) drainCredits(now int64) {
+	for ni.cqHead < len(ni.creditQ) && ni.creditQ[ni.cqHead].at <= now {
+		ni.credits[ni.creditQ[ni.cqHead].vc]++
+		ni.cqHead++
+	}
+	if ni.cqHead == len(ni.creditQ) {
+		ni.creditQ = ni.creditQ[:0]
+		ni.cqHead = 0
+	}
+}
+
+// inject tries to send the head flit of the source queue into the router's
+// injection buffer. It returns the sent flit and true on success. The NI
+// performs its own VC selection: a head flit claims a VC that currently has
+// buffer space; subsequent flits of the packet follow on the same VC
+// (wormhole ordering).
+func (ni *nodeIface) inject(now int64, s *Simulator) (flit, bool) {
+	if ni.queued() == 0 {
+		return flit{}, false
+	}
+	f := ni.srcQ[ni.sqHead]
+	if f.isHead() && ni.curVC < 0 {
+		// Claim a VC with at least one free slot from the packet's routing
+		// class, round-robin from the packet id for determinism without bias.
+		lo, hi := s.vcClass(f.pkt.yx)
+		span := hi - lo
+		start := int(f.pkt.id) % span
+		for k := 0; k < span; k++ {
+			vc := lo + (start+k)%span
+			if ni.credits[vc] > 0 {
+				ni.curVC = vc
+				break
+			}
+		}
+	}
+	if ni.curVC < 0 || ni.credits[ni.curVC] <= 0 {
+		return flit{}, false
+	}
+	vc := ni.curVC
+	ni.credits[vc]--
+	ni.srcQ[ni.sqHead] = flit{}
+	ni.sqHead++
+	if ni.sqHead == len(ni.srcQ) {
+		ni.srcQ = ni.srcQ[:0]
+		ni.sqHead = 0
+	}
+	if f.isTail() {
+		ni.curVC = -1
+	}
+	// One-cycle local link into the router's injection buffer.
+	s.deliverFlit(ni.injector, ni.inPort, delivery{at: now + 1, f: f, vc: vc}, now+1)
+	return f, true
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunMany executes one simulation per config concurrently and returns the
+// results in input order. Each simulation is fully independent (its own
+// simulator, PRNG streams and statistics), so the output is bit-identical to
+// running them sequentially. workers <= 0 uses GOMAXPROCS.
+func RunMany(cfgs []Config, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s, err := New(cfgs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = s.Run()
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sim: run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	var cfgs []Config
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
+		cfg.Seed = seed
+		cfg.Measure = 2000
+		cfgs = append(cfgs, cfg)
+	}
+	par, err := RunMany(cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i] != seq {
+			t.Fatalf("run %d diverged between parallel and sequential:\n%v\n%v", i, par[i], seq)
+		}
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	good := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
+	bad := good
+	bad.InjectionRate = 7
+	if _, err := RunMany([]Config{good, bad}, 2); err == nil {
+		t.Fatal("bad config error not propagated")
+	}
+}
+
+func TestRunManyEmptyAndDefaults(t *testing.T) {
+	res, err := RunMany(nil, 0)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty RunMany: %v %v", res, err)
+	}
+	one := []Config{quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.01)}
+	res, err = RunMany(one, 0)
+	if err != nil || len(res) != 1 || res[0].MeasuredPackets == 0 {
+		t.Fatalf("single RunMany: %v %v", res, err)
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	cfg := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.ChannelStats()
+	// A 4x4 mesh has 2*2*n*(n-1) = 48 directed channels.
+	if len(stats) != 48 {
+		t.Fatalf("channels = %d, want 48", len(stats))
+	}
+	var total int64
+	for _, c := range stats {
+		if c.Utilization < 0 || c.Utilization > 1 {
+			t.Fatalf("utilization out of range: %v", c)
+		}
+		if c.Length != 1 {
+			t.Fatalf("mesh channel with length %d", c.Length)
+		}
+		total += c.Flits
+	}
+	if total == 0 {
+		t.Fatal("no channel traffic recorded")
+	}
+	// Sorted descending.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Flits > stats[i-1].Flits {
+			t.Fatal("channel stats not sorted")
+		}
+	}
+	sum := s.Summarize()
+	if sum.Channels != 48 || sum.MaxUtil < sum.MeanUtil || sum.Gini < 0 || sum.Gini > 1 {
+		t.Fatalf("summary broken: %+v", sum)
+	}
+	if s.TopChannels(3) == "" {
+		t.Fatal("TopChannels empty")
+	}
+}
+
+func TestHFBBottleneckVisible(t *testing.T) {
+	// Section 5.4: the HFB's inter-quadrant boundary links are its
+	// bottleneck. Under uniform traffic the HFB's load distribution must be
+	// markedly more unequal than the mesh's, and its busiest channels must
+	// be boundary-crossing locals.
+	run := func(tp topo.Topology, c int) *Simulator {
+		cfg := quickCfg(tp, c, traffic.UniformRandom(8), 0.05)
+		cfg.Measure = 4000
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	hfb := run(topo.HFB(8), 4)
+	mesh := run(topo.Mesh(8), 1)
+	hsum, msum := hfb.Summarize(), mesh.Summarize()
+	if hsum.Gini <= msum.Gini {
+		t.Fatalf("HFB load inequality (%.3f) not above mesh (%.3f)", hsum.Gini, msum.Gini)
+	}
+	// The single busiest HFB channel crosses a quadrant boundary (between
+	// positions 3 and 4 in X or Y).
+	top := hfb.ChannelStats()[0]
+	crossesX := (top.SrcX == 3 && top.DstX == 4) || (top.SrcX == 4 && top.DstX == 3)
+	crossesY := (top.SrcY == 3 && top.DstY == 4) || (top.SrcY == 4 && top.DstY == 3)
+	if !crossesX && !crossesY {
+		t.Fatalf("busiest HFB channel %v does not cross the quadrant boundary", top)
+	}
+}
+
+func TestUtilizationHeatmap(t *testing.T) {
+	cfg := quickCfg(topo.HFB(8), 4, traffic.UniformRandom(8), 0.05)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hm := s.UtilizationHeatmap()
+	lines := 0
+	for _, line := range splitLines(hm) {
+		if len(line) > 0 && (line[0] == '.' || line[0] == '-' || line[0] == '+' || line[0] == '#' || line[0] == '@') {
+			lines++
+			if len(line) != 2*8-1 {
+				t.Fatalf("heatmap row width %d: %q", len(line), line)
+			}
+		}
+	}
+	if lines != 8 {
+		t.Fatalf("heatmap has %d grid rows:\n%s", lines, hm)
+	}
+	// The network peak must appear as at least one '@'.
+	if !containsByte(hm, '@') {
+		t.Fatalf("no peak cell in heatmap:\n%s", hm)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func containsByte(s string, b byte) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestResultAndChannelStrings(t *testing.T) {
+	cfg := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+	stats := s.ChannelStats()
+	if len(stats) == 0 || stats[0].String() == "" {
+		t.Fatal("empty channel string")
+	}
+	if shadeFor(0.3) != '+' || shadeFor(0.95) != '@' || shadeFor(0.15) != '-' || shadeFor(0.6) != '#' {
+		t.Fatal("shade scale broken")
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+// This file implements the router microarchitecture of Fig. 3: input-buffered
+// virtual-channel routers with a lookup-table routing unit, separable
+// round-robin VC and switch allocators, and credit-based wormhole flow
+// control. Express topologies simply give routers more, narrower ports.
+
+type delivery struct {
+	at int64
+	f  flit
+	vc int
+}
+
+type creditEvt struct {
+	at int64
+	vc int
+}
+
+// channel is one directed network link. Express channels have latency equal
+// to their Manhattan length (they are segmented into unit-length repeatered
+// wires, Section 2.2).
+type channel struct {
+	latency  int64
+	lenUnits int64
+	src      *router
+	dst      *router
+	dstPort  int
+	flits    int64      // total flits carried (utilization accounting)
+	q        []delivery // FIFO ordered by delivery time
+	qHead    int
+}
+
+func (ch *channel) push(d delivery) { ch.q = append(ch.q, d) }
+
+// popReady removes and returns the next flit due at or before now.
+func (ch *channel) popReady(now int64) (delivery, bool) {
+	if ch.qHead >= len(ch.q) {
+		return delivery{}, false
+	}
+	if ch.q[ch.qHead].at > now {
+		return delivery{}, false
+	}
+	d := ch.q[ch.qHead]
+	ch.q[ch.qHead] = delivery{} // drop the packet reference
+	ch.qHead++
+	if ch.qHead == len(ch.q) {
+		ch.q = ch.q[:0]
+		ch.qHead = 0
+	}
+	return d, true
+}
+
+func (ch *channel) inFlight() int { return len(ch.q) - ch.qHead }
+
+// outPort is one router output: either a network channel or the ejection
+// port to the local NI.
+type outPort struct {
+	ch      *channel // nil for the ejection port
+	isEject bool
+	credits []int   // free downstream buffer slots per VC
+	holder  []int32 // which input VC holds each output VC: inPort<<16|vc, -1 free
+	creditQ []creditEvt
+	cqHead  int
+	rrIn    int // round-robin pointer for the output stage of the allocator
+	rrVC    int // round-robin pointer for VC allocation
+}
+
+func (o *outPort) pushCredit(e creditEvt) { o.creditQ = append(o.creditQ, e) }
+
+func (o *outPort) drainCredits(now int64) {
+	for o.cqHead < len(o.creditQ) && o.creditQ[o.cqHead].at <= now {
+		o.credits[o.creditQ[o.cqHead].vc]++
+		o.cqHead++
+	}
+	if o.cqHead == len(o.creditQ) {
+		o.creditQ = o.creditQ[:0]
+		o.cqHead = 0
+	}
+}
+
+// vcState is one virtual channel of an input port: its flit FIFO plus the
+// route of the packet currently flowing through it.
+type vcState struct {
+	fifo    vcFIFO
+	outPort int32 // -1: head needs route computation
+	outVC   int32 // -1: needs VC allocation
+}
+
+// inPort is one router input: the injection port (from the local NI) or the
+// receiving end of a network channel.
+type inPort struct {
+	vcs       []vcState
+	upOut     *outPort // upstream output port for credit returns (nil if injection)
+	upLatency int64
+	ni        *nodeIface // non-nil for the injection port
+	rrVC      int        // round-robin pointer for the input stage of the allocator
+	buffered  int        // flits across this port's VCs; empty ports are skipped
+}
+
+// router is one network node's switch.
+type router struct {
+	id       int
+	x, y     int
+	in       []inPort
+	out      []outPort
+	occupied int // buffered flits across all input VCs; idle routers are skipped
+
+	// Routing tables (Fig. 3b): next-hop positions along the row/column and
+	// the output port reaching each neighbor.
+	rowNext [][]int // rowNext[from][toCol] = next column
+	colNext [][]int
+	rowOut  []int32 // rowOut[col] = out port index to row neighbor at col, -1 none
+	colOut  []int32
+}
+
+// routeFlit implements the two-table lookup of Section 4.5.2: XY order, X
+// table while the column differs, then the Y table, then ejection. With
+// yx set (O1TURN's second class) the dimension order is reversed. dst is a
+// core id; with concentration k, out ports [0, k) are the per-core ejection
+// ports of the destination router.
+func (r *router) routeFlit(dst, w, k int, yx bool) int32 {
+	dr := dst / k
+	dx, dy := dr%w, dr/w
+	if yx {
+		if dy != r.y {
+			return r.colOut[r.colNext[r.y][dy]]
+		}
+		if dx != r.x {
+			return r.rowOut[r.rowNext[r.x][dx]]
+		}
+		return int32(dst % k)
+	}
+	if dx != r.x {
+		return r.rowOut[r.rowNext[r.x][dx]]
+	}
+	if dy != r.y {
+		return r.colOut[r.colNext[r.y][dy]]
+	}
+	return int32(dst % k)
+}

@@ -1,0 +1,474 @@
+package sim
+
+import (
+	"fmt"
+
+	"explink/internal/model"
+	"explink/internal/stats"
+)
+
+// Simulator is one instantiated simulation. Create with New, run once with
+// Run; it is not reusable or safe for concurrent use.
+type Simulator struct {
+	cfg   Config
+	w, h  int
+	k     int // cores per router (concentration)
+	nodes int // total cores
+
+	routers  []*router
+	nis      []*nodeIface
+	channels []*channel
+
+	idealHead   [][]float64
+	idealHeadYX [][]float64 // only populated under O1TURN routing
+	mixCum      []float64
+	mixFlits    []int
+
+	now           int64
+	counts        Counts
+	col           *collector
+	rng           *stats.RNG
+	nextPktID     int64
+	inFlightFlits int64
+	lastProgress  int64
+	taggedCreated int64
+	taggedDone    int64
+	warmEnd       int64
+	measEnd       int64
+	hardEnd       int64
+	deadlock      bool
+
+	inCand []int // scratch: per-inPort chosen VC during switch allocation
+	outReq []int // scratch: output ports with at least one nomination
+
+	traceIdx int          // replay cursor into cfg.Trace.Entries
+	recorded []TraceEntry // captured workload when cfg.RecordTrace
+
+	// onPacketDone, when set, observes every completed measured packet
+	// (testing/diagnostics hook).
+	onPacketDone func(src, dst, flits, hops int, netLat, ideal float64)
+	// onGrant, when set, observes every switch traversal (diagnostics).
+	onGrant func(now int64, routerID, pi, vi int, f flit)
+}
+
+// New builds a simulator for the config. The config is validated and
+// defaulted; New returns an error rather than panicking on bad input.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg: cfg,
+		col: newCollector(),
+		rng: stats.NewRNG(cfg.Seed),
+	}
+	s.buildNetwork()
+
+	s.mixCum = make([]float64, len(cfg.Mix))
+	s.mixFlits = make([]int, len(cfg.Mix))
+	cum := 0.0
+	for i, c := range cfg.Mix {
+		cum += c.Frac
+		s.mixCum[i] = cum
+		s.mixFlits[i] = model.FlitsFor(c.Bits, cfg.WidthBits)
+	}
+	s.warmEnd = int64(cfg.Warmup)
+	s.measEnd = int64(cfg.Warmup + cfg.Measure)
+	s.hardEnd = s.measEnd + int64(cfg.Drain)
+	s.lastProgress = 0
+	return s, nil
+}
+
+// Run executes the whole simulation and returns its measurements.
+func (s *Simulator) Run() (Result, error) {
+	drained := false
+	for {
+		if s.now >= s.measEnd && s.taggedDone == s.taggedCreated && s.inFlightFlits == 0 {
+			drained = true
+			break
+		}
+		if s.now >= s.hardEnd {
+			break
+		}
+		if s.inFlightFlits > 0 && s.now-s.lastProgress > int64(s.cfg.ProgressTimeout) {
+			s.deadlock = true
+			break
+		}
+		s.step()
+		s.now++
+	}
+	return s.result(drained), nil
+}
+
+func (s *Simulator) result(drained bool) Result {
+	patName := "trace"
+	if s.cfg.Pattern != nil {
+		patName = s.cfg.Pattern.Name()
+	}
+	r := Result{
+		Topology:          s.cfg.Topo.Name,
+		Pattern:           patName,
+		InjRate:           s.cfg.InjectionRate,
+		Cycles:            s.now,
+		MeasuredPackets:   s.col.latency.Count(),
+		Drained:           drained,
+		DeadlockSuspected: s.deadlock,
+		Counts:            s.counts,
+	}
+	r.AvgPacketLatency = s.col.latency.Mean()
+	r.AvgNetLatency = s.col.netLatency.Mean()
+	r.P95Latency = s.col.latency.Percentile(95)
+	r.P99Latency = s.col.latency.Percentile(99)
+	r.MaxLatency = s.col.latency.Max()
+	r.AvgHops = s.col.hops.Mean()
+	r.AvgContentionPerHop = s.col.contention.Mean()
+	denom := float64(s.nodes) * float64(s.cfg.Measure)
+	r.ThroughputPackets = float64(s.col.ejectedInWindow) / denom
+	r.ThroughputFlits = float64(s.col.flitsInWindow) / denom
+	return r
+}
+
+// step advances one cycle: (1) deliver flits and credits due now, (2) NIs
+// generate and inject, (3) routers route, allocate VCs and arbitrate the
+// switch. All effects of phase 3 land at strictly later cycles, so the
+// sequential router order cannot leak same-cycle causality.
+func (s *Simulator) step() {
+	now := s.now
+
+	for _, ch := range s.channels {
+		for {
+			d, ok := ch.popReady(now)
+			if !ok {
+				break
+			}
+			s.deliverFlit(ch.dst, ch.dstPort, d, now)
+		}
+	}
+	for _, r := range s.routers {
+		for oi := range r.out {
+			r.out[oi].drainCredits(now)
+		}
+	}
+	for _, ni := range s.nis {
+		ni.drainCredits(now)
+	}
+
+	if injecting := now < s.measEnd; injecting {
+		if s.cfg.Trace != nil {
+			s.replayTrace()
+		} else if s.cfg.InjectionRate > 0 {
+			for _, ni := range s.nis {
+				if ni.rng.Bool(s.cfg.InjectionRate) {
+					s.generate(ni)
+				}
+			}
+		}
+	}
+	for _, ni := range s.nis {
+		if _, ok := ni.inject(now, s); ok {
+			s.inFlightFlits++
+			s.lastProgress = now
+		}
+	}
+
+	for _, r := range s.routers {
+		if r.occupied > 0 {
+			s.routerCycle(r)
+		}
+	}
+}
+
+// generate creates one packet at the NI per the traffic pattern and mix.
+func (s *Simulator) generate(ni *nodeIface) {
+	dst := s.cfg.Pattern.Dest(ni.id, ni.rng)
+	if dst == ni.id || dst < 0 || dst >= s.nodes {
+		return // self-addressed traffic is dropped (see package traffic)
+	}
+	class := len(s.mixCum) - 1
+	u := ni.rng.Float64()
+	for i, c := range s.mixCum {
+		if u < c {
+			class = i
+			break
+		}
+	}
+	s.nextPktID++
+	p := &packet{
+		id:       s.nextPktID,
+		src:      ni.id,
+		dst:      dst,
+		flits:    s.mixFlits[class],
+		class:    class,
+		created:  s.now,
+		injected: -1,
+		measured: s.now >= s.warmEnd && s.now < s.measEnd,
+	}
+	if s.cfg.Routing == RoutingO1Turn {
+		p.yx = ni.rng.Bool(0.5)
+	}
+	if p.measured {
+		s.taggedCreated++
+	}
+	s.counts.PacketsInjected++
+	s.counts.FlitsInjected += int64(p.flits)
+	if s.cfg.RecordTrace {
+		s.recorded = append(s.recorded, TraceEntry{
+			Cycle: s.now, Src: p.src, Dst: p.dst, Bits: s.cfg.Mix[class].Bits,
+		})
+	}
+	ni.pushFlits(p)
+}
+
+// RecordedTrace returns the workload captured during a run with RecordTrace
+// set (nil otherwise). The trace replays deterministically through a fresh
+// simulator with Config.Trace.
+func (s *Simulator) RecordedTrace() *Trace {
+	if !s.cfg.RecordTrace {
+		return nil
+	}
+	return &Trace{W: s.cfg.Topo.W, H: s.cfg.Topo.H, K: s.k, Entries: s.recorded}
+}
+
+// vcClass returns the half-open VC index range a packet may use: the full
+// range under dimension-order routing, or the class partition under O1TURN.
+func (s *Simulator) vcClass(yx bool) (lo, hi int) {
+	if s.cfg.Routing != RoutingO1Turn {
+		return 0, s.cfg.VCs
+	}
+	half := s.cfg.VCs / 2
+	if yx {
+		return half, s.cfg.VCs
+	}
+	return 0, half
+}
+
+// deliverFlit writes a flit into a router input buffer at the given arrival
+// cycle.
+func (s *Simulator) deliverFlit(r *router, port int, d delivery, arrival int64) {
+	ip := &r.in[port]
+	readyAt := arrival + int64(s.cfg.RouterStages-1)
+	if s.cfg.PipelineBypass && r.occupied == 0 {
+		readyAt = arrival // idle router: skip straight to switch traversal
+	}
+	ip.vcs[d.vc].fifo.push(bufEntry{f: d.f, readyAt: readyAt})
+	r.occupied++
+	ip.buffered++
+	s.counts.BufferWrites++
+	if d.f.isHead() && ip.ni != nil && d.f.pkt.injected < 0 {
+		d.f.pkt.injected = arrival
+	}
+}
+
+// routerCycle performs route computation, VC allocation and switch
+// allocation for one router in one cycle.
+func (s *Simulator) routerCycle(r *router) {
+	now := s.now
+
+	// Route computation + VC allocation for every head flit at a buffer
+	// front. Both are modeled as instantaneous here; their pipeline cost is
+	// the readyAt eligibility delay applied at buffer write.
+	for pi := range r.in {
+		ip := &r.in[pi]
+		if ip.buffered == 0 {
+			continue
+		}
+		for vi := range ip.vcs {
+			vc := &ip.vcs[vi]
+			fe := vc.fifo.front()
+			if fe == nil {
+				continue
+			}
+			if fe.f.isHead() && vc.outPort < 0 {
+				vc.outPort = r.routeFlit(fe.f.pkt.dst, s.w, s.k, fe.f.pkt.yx)
+			}
+			if vc.outPort >= 0 && vc.outVC < 0 {
+				op := &r.out[vc.outPort]
+				lo, hi := s.vcClass(fe.f.pkt.yx)
+				span := hi - lo
+				for k := 0; k < span; k++ {
+					cand := lo + (op.rrVC+k)%span
+					if op.holder[cand] < 0 {
+						op.holder[cand] = int32(pi)<<16 | int32(vi)
+						vc.outVC = int32(cand)
+						op.rrVC = (cand - lo + 1) % span
+						s.counts.VCAllocs++
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Switch allocation, stage 1: each input port nominates one eligible VC.
+	s.outReq = s.outReq[:0]
+	for pi := range r.in {
+		ip := &r.in[pi]
+		s.inCand[pi] = -1
+		if ip.buffered == 0 {
+			continue
+		}
+		nv := len(ip.vcs)
+		for k := 0; k < nv; k++ {
+			vi := (ip.rrVC + k) % nv
+			vc := &ip.vcs[vi]
+			fe := vc.fifo.front()
+			if fe == nil || fe.readyAt > now || vc.outPort < 0 || vc.outVC < 0 {
+				continue
+			}
+			op := &r.out[vc.outPort]
+			if !op.isEject && op.credits[vc.outVC] <= 0 {
+				continue
+			}
+			s.inCand[pi] = vi
+			if !containsInt(s.outReq, int(vc.outPort)) {
+				s.outReq = append(s.outReq, int(vc.outPort))
+			}
+			break
+		}
+	}
+
+	// Stage 2: each requested output port grants one nominating input.
+	for _, oi := range s.outReq {
+		op := &r.out[oi]
+		ni := len(r.in)
+		for k := 0; k < ni; k++ {
+			pi := (op.rrIn + k) % ni
+			vi := s.inCand[pi]
+			if vi < 0 || r.in[pi].vcs[vi].outPort != int32(oi) {
+				continue
+			}
+			s.inCand[pi] = -1
+			op.rrIn = (pi + 1) % ni
+			s.grantSwitch(r, pi, vi)
+			break
+		}
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// grantSwitch moves the winning flit across the crossbar into its output
+// channel (or to the ejection sink), returns a credit upstream, and releases
+// the output VC on tail flits.
+func (s *Simulator) grantSwitch(r *router, pi, vi int) {
+	now := s.now
+	ip := &r.in[pi]
+	vc := &ip.vcs[vi]
+	fe := vc.fifo.pop()
+	f := fe.f
+	r.occupied--
+	ip.buffered--
+	ip.rrVC = (vi + 1) % len(ip.vcs)
+	s.counts.BufferReads++
+	s.counts.SwitchTraversals++
+	s.lastProgress = now
+	if s.onGrant != nil {
+		s.onGrant(now, r.id, pi, vi, f)
+	}
+
+	// Credit back to whoever feeds this input buffer.
+	if ip.upOut != nil {
+		ip.upOut.pushCredit(creditEvt{at: now + ip.upLatency, vc: vi})
+		s.counts.CreditsSent++
+	} else if ip.ni != nil {
+		ip.ni.creditQ = append(ip.ni.creditQ, creditEvt{at: now + 1, vc: vi})
+		s.counts.CreditsSent++
+	}
+
+	op := &r.out[vc.outPort]
+	if op.isEject {
+		s.eject(f, now+2) // ST plus the one-cycle local link to the NI
+	} else {
+		if f.isHead() {
+			f.pkt.hops++
+		}
+		op.credits[vc.outVC]--
+		op.ch.push(delivery{at: now + 1 + op.ch.latency, f: f, vc: int(vc.outVC)})
+		op.ch.flits++
+		s.counts.LinkFlitUnits += op.ch.lenUnits
+	}
+
+	if f.isTail() {
+		op.holder[vc.outVC] = -1
+		vc.outPort, vc.outVC = -1, -1
+	}
+}
+
+// eject delivers a flit to the destination NI at cycle t and completes the
+// packet on its tail.
+func (s *Simulator) eject(f flit, t int64) {
+	s.counts.FlitsEjected++
+	s.inFlightFlits--
+	p := f.pkt
+	p.ejected++
+	if t >= s.warmEnd && t < s.measEnd {
+		s.col.flitsInWindow++
+	}
+	if p.ejected < p.flits {
+		return
+	}
+	p.done = t
+	s.counts.PacketsEjected++
+	if t >= s.warmEnd && t < s.measEnd {
+		s.col.ejectedInWindow++
+	}
+	if !p.measured {
+		return
+	}
+	s.taggedDone++
+	lat := int(t - p.created)
+	s.col.latency.Add(lat)
+	if p.injected >= 0 {
+		netLat := float64(t - p.injected)
+		s.col.netLatency.Add(netLat)
+		ideal := s.idealNetLatency(p)
+		hops := p.hops
+		if hops < 1 {
+			hops = 1
+		}
+		extra := netLat - ideal
+		if extra < 0 {
+			extra = 0
+		}
+		s.col.contention.Add(extra / float64(hops))
+		if s.onPacketDone != nil {
+			s.onPacketDone(p.src, p.dst, p.flits, p.hops, netLat, ideal)
+		}
+	}
+	s.col.hops.Add(float64(p.hops))
+}
+
+// idealNetLatency is the zero-load network latency of a packet: head latency
+// along its path, plus ejection pipeline and local link, plus pipelined
+// serialization of the remaining flits. The constant matches the timing
+// convention in the package comment; TestZeroLoadMatchesModel pins it.
+func (s *Simulator) idealNetLatency(p *packet) float64 {
+	head := s.idealHead[p.src][p.dst]
+	if p.yx && s.idealHeadYX != nil {
+		head = s.idealHeadYX[p.src][p.dst]
+	}
+	return head + float64(s.cfg.RouterStages-1) + 2 + float64(p.flits-1)
+}
+
+// InFlight reports flits currently inside routers and channels (for tests).
+func (s *Simulator) InFlight() int64 { return s.inFlightFlits }
+
+// Now reports the current simulation cycle (for tests).
+func (s *Simulator) Now() int64 { return s.now }
+
+// DebugString summarizes the built network.
+func (s *Simulator) DebugString() string {
+	chFlits := 0
+	for _, ch := range s.channels {
+		chFlits += ch.inFlight()
+	}
+	return fmt.Sprintf("sim{%s %dx%d routers=%d channels=%d width=%db cycle=%d inflight=%d chflits=%d}",
+		s.cfg.Topo.Name, s.w, s.h, len(s.routers), len(s.channels), s.cfg.WidthBits, s.now, s.inFlightFlits, chFlits)
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// SweepPoint is one injection-rate sample of a load-latency curve.
+type SweepPoint struct {
+	Rate   float64
+	Result Result
+}
+
+// SweepResult is a load-latency curve plus the detected saturation
+// throughput (Fig. 8b's metric: accepted packets per node per cycle at the
+// highest stable load).
+type SweepResult struct {
+	Points     []SweepPoint
+	Saturation float64 // accepted packets/node/cycle at the last stable point
+	SatRate    float64 // offered rate of that point
+}
+
+// SaturationOpts controls the throughput search.
+type SaturationOpts struct {
+	// Start is the first offered rate; Factor multiplies the rate between
+	// coarse steps; MaxRate bounds the search.
+	Start, Factor, MaxRate float64
+	// LatencyLimit declares saturation when the average packet latency
+	// exceeds LatencyLimit times the zero-load latency.
+	LatencyLimit float64
+	// Refine bisection steps between the last stable and first saturated
+	// rate.
+	Refine int
+}
+
+// DefaultSaturationOpts matches common NoC methodology: latency blowing past
+// 4x zero-load (or failure to drain) marks saturation.
+func DefaultSaturationOpts() SaturationOpts {
+	return SaturationOpts{Start: 0.005, Factor: 1.5, MaxRate: 1.0, LatencyLimit: 4, Refine: 4}
+}
+
+// FindSaturation sweeps the offered load upward until the network saturates,
+// then bisects to locate the knee. The base config's InjectionRate is
+// ignored; everything else (topology, pattern, seed, phases) is reused.
+func FindSaturation(base Config, opts SaturationOpts) (SweepResult, error) {
+	if opts.Start <= 0 || opts.Factor <= 1 || opts.MaxRate <= 0 {
+		return SweepResult{}, fmt.Errorf("sim: bad saturation options %+v", opts)
+	}
+	var sr SweepResult
+	runAt := func(rate float64) (Result, error) {
+		cfg := base
+		cfg.InjectionRate = rate
+		s, err := New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return s.Run()
+	}
+
+	zero, err := runAt(opts.Start)
+	if err != nil {
+		return sr, err
+	}
+	sr.Points = append(sr.Points, SweepPoint{Rate: opts.Start, Result: zero})
+	if !zero.Drained || zero.MeasuredPackets == 0 {
+		return sr, fmt.Errorf("sim: network unstable at the probe rate %g", opts.Start)
+	}
+	zeroLat := zero.AvgPacketLatency
+	stable := func(r Result) bool {
+		return r.Drained && !r.DeadlockSuspected && r.AvgPacketLatency <= opts.LatencyLimit*zeroLat
+	}
+
+	lastGood, lastGoodThr := opts.Start, zero.ThroughputPackets
+	firstBad := 0.0
+	for rate := opts.Start * opts.Factor; rate <= opts.MaxRate; rate *= opts.Factor {
+		res, err := runAt(rate)
+		if err != nil {
+			return sr, err
+		}
+		sr.Points = append(sr.Points, SweepPoint{Rate: rate, Result: res})
+		if stable(res) {
+			lastGood, lastGoodThr = rate, res.ThroughputPackets
+			continue
+		}
+		firstBad = rate
+		break
+	}
+	if firstBad == 0 {
+		// Never saturated within MaxRate; report the best stable point.
+		sr.Saturation, sr.SatRate = lastGoodThr, lastGood
+		return sr, nil
+	}
+	lo, hi := lastGood, firstBad
+	for i := 0; i < opts.Refine; i++ {
+		mid := (lo + hi) / 2
+		res, err := runAt(mid)
+		if err != nil {
+			return sr, err
+		}
+		sr.Points = append(sr.Points, SweepPoint{Rate: mid, Result: res})
+		if stable(res) {
+			lo, lastGoodThr = mid, res.ThroughputPackets
+		} else {
+			hi = mid
+		}
+	}
+	sr.Saturation, sr.SatRate = lastGoodThr, lo
+	return sr, nil
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+func TestFindSaturationOptionsValidation(t *testing.T) {
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0)
+	for _, opts := range []SaturationOpts{
+		{Start: 0, Factor: 2, MaxRate: 1},
+		{Start: 0.01, Factor: 1, MaxRate: 1},
+		{Start: 0.01, Factor: 2, MaxRate: 0},
+	} {
+		if _, err := FindSaturation(base, opts); err == nil {
+			t.Fatalf("bad opts accepted: %+v", opts)
+		}
+	}
+}
+
+func TestFindSaturationFindsKnee(t *testing.T) {
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0)
+	base.Warmup, base.Measure, base.Drain = 300, 2000, 5000
+	opts := DefaultSaturationOpts()
+	opts.Start = 0.02
+	opts.Factor = 2
+	opts.Refine = 2
+	res, err := FindSaturation(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("sweep only sampled %d points", len(res.Points))
+	}
+	// A 4x4 mesh saturates well below 1 packet/node/cycle and well above the
+	// probe rate.
+	if res.Saturation <= 0.02 || res.Saturation >= 0.8 {
+		t.Fatalf("implausible saturation %.4f", res.Saturation)
+	}
+	if res.SatRate < res.Saturation*0.5 {
+		t.Fatalf("offered rate %.4f inconsistent with accepted %.4f", res.SatRate, res.Saturation)
+	}
+}
+
+func TestFindSaturationNeverSaturates(t *testing.T) {
+	// With MaxRate below the network's knee the sweep must report the best
+	// stable point rather than failing.
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0)
+	base.Warmup, base.Measure, base.Drain = 300, 1500, 5000
+	opts := DefaultSaturationOpts()
+	opts.Start = 0.01
+	opts.Factor = 2
+	opts.MaxRate = 0.04
+	res, err := FindSaturation(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturation <= 0 {
+		t.Fatalf("no stable point reported: %+v", res)
+	}
+}

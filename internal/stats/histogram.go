@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram collects integer-valued samples (e.g. packet latencies in cycles)
+// and reports exact percentiles. Buckets are sparse, so wide-tailed
+// distributions cost only as much memory as their distinct values.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+	sum    float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add records one sample with value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+	h.sum += float64(v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank definition, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	keys := h.sortedKeys()
+	var seen int64
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen >= rank {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() int {
+	keys := h.sortedKeys()
+	if len(keys) == 0 {
+		return 0
+	}
+	return keys[len(keys)-1]
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for k, c := range other.counts {
+		h.counts[k] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+func (h *Histogram) sortedKeys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// String renders a compact summary: count, mean and key percentiles.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "histogram: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f p50=%d p95=%d p99=%d max=%d",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+	return b.String()
+}

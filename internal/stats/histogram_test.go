@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if h.String() != "histogram: empty" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want int
+	}{{50, 50}, {95, 95}, {99, 99}, {100, 100}, {1, 1}}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("p%g = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 99; i++ {
+		h.Add(10)
+	}
+	h.Add(1000)
+	if h.Percentile(50) != 10 {
+		t.Fatalf("p50 = %d", h.Percentile(50))
+	}
+	if h.Percentile(100) != 1000 {
+		t.Fatalf("p100 = %d", h.Percentile(100))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 10; i++ {
+		a.Add(1)
+		b.Add(3)
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Mean() != 2 {
+		t.Fatalf("mean = %g", a.Mean())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("String = %q", h.String())
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import "math"
+
+// Running accumulates a stream of float64 samples and reports count, mean,
+// variance and extrema in O(1) space (Welford's algorithm).
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (s *Running) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddN incorporates the same sample value n times.
+func (s *Running) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Add(x)
+	}
+}
+
+// Count returns the number of samples seen.
+func (s *Running) Count() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Running) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (s *Running) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Running) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Running) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Running) Max() float64 { return s.max }
+
+// Merge folds other into s, as if all of other's samples had been added to s.
+func (s *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	mean := s.mean + d*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningEmpty(t *testing.T) {
+	var s Running
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("empty Running must report zeros")
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var s Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %g, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEq(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %g, want %g", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestRunningMatchesDirect(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		var s Running
+		var sum float64
+		for _, v := range vals {
+			s.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		variance := ss / float64(len(vals)-1)
+		return almostEq(s.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almostEq(s.Variance(), variance, 1e-6*(1+variance))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMergeEqualsSequential(t *testing.T) {
+	if err := quick.Check(func(a, b []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var s1, s2, all Running
+		for _, v := range a {
+			s1.Add(v)
+			all.Add(v)
+		}
+		for _, v := range b {
+			s2.Add(v)
+			all.Add(v)
+		}
+		s1.Merge(&s2)
+		if s1.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return almostEq(s1.Mean(), all.Mean(), 1e-6*(1+math.Abs(all.Mean()))) &&
+			almostEq(s1.Variance(), all.Variance(), 1e-5*(1+all.Variance()))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(3.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3.5)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Fatalf("AddN mismatch: %v vs %v", a, b)
+	}
+}

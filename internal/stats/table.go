@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them as an aligned plain-text
+// table, the output format of every experiment driver.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row. Cells beyond the header width are kept; short rows
+// are padded when rendered.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// values render with %.2f, ints with %d, everything else with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// CSV renders the table as comma-separated values (header first), quoting
+// cells that contain commas or quotes, for machine-readable experiment
+// output.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == cols-1 {
+				b.WriteString(cell) // no trailing padding on the last column
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package topo
+
+// This file provides the fixed comparison topologies the paper evaluates
+// against (Section 5.1): the mesh baseline, the flattened butterfly, and the
+// hybrid flattened butterfly (HFB) of Fig. 4. All are expressible as row
+// placements because each one is identical on every row and column.
+
+// FlatButterflyRow returns the fully connected row of the flattened
+// butterfly [17]: an express span between every non-adjacent pair. Its
+// maximum cross-section is n²/4 (Eq. 4).
+func FlatButterflyRow(n int) Row {
+	r := Row{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			r.Express = append(r.Express, Span{From: i, To: j})
+		}
+	}
+	return r
+}
+
+// HFBRow returns one row of the hybrid flattened butterfly (Fig. 4): the row
+// is split into two halves, each half fully connected, and the halves joined
+// only by the local link across the middle. HFB exists to scale the flattened
+// butterfly beyond 4x4, so for n <= 4 it degenerates to the plain flattened
+// butterfly, which is what the paper compares against on 4x4 networks.
+func HFBRow(n int) Row {
+	if n <= 4 {
+		return FlatButterflyRow(n)
+	}
+	r := Row{N: n}
+	half := n / 2
+	addFull := func(lo, hi int) { // fully connect routers [lo, hi)
+		for i := lo; i < hi; i++ {
+			for j := i + 2; j < hi; j++ {
+				r.Express = append(r.Express, Span{From: i, To: j})
+			}
+		}
+	}
+	addFull(0, half)
+	addFull(half, n)
+	return r
+}
+
+// CFull returns the maximum possible cross-section link count for a fully
+// connected row of n routers (Eq. 4): (n/2)·(n - n/2). For even n this is
+// n²/4.
+func CFull(n int) int {
+	h := n / 2
+	return h * (n - h)
+}
+
+// LinkLimits returns the candidate link-limit values C for an n-router row:
+// the powers of two from 1 up to CFull(n), as in Section 4.1 ("the value of C
+// can be 1, 2, or 4 for 4x4 networks and 1, 2, 4, 8, or 16 for 8x8").
+func LinkLimits(n int) []int {
+	var out []int
+	for c := 1; c <= CFull(n); c *= 2 {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestFlatButterflyRow(t *testing.T) {
+	r := FlatButterflyRow(8)
+	// All non-adjacent pairs: C(8,2) - 7 = 21 spans.
+	if len(r.Express) != 21 {
+		t.Fatalf("FB(8) has %d express spans, want 21", len(r.Express))
+	}
+	// Eq. 4: the center cut carries n²/4 = 16 links.
+	if got := r.CrossSection(3); got != 16 {
+		t.Fatalf("FB(8) center cut = %d, want 16", got)
+	}
+	if r.MaxCrossSection() != CFull(8) {
+		t.Fatalf("max cross-section %d != CFull %d", r.MaxCrossSection(), CFull(8))
+	}
+	// Every router reaches every other in one hop.
+	for i := 0; i < 8; i++ {
+		if r.Degree(i) != 7 {
+			t.Fatalf("FB degree(%d) = %d", i, r.Degree(i))
+		}
+	}
+}
+
+func TestCFull(t *testing.T) {
+	cases := map[int]int{4: 4, 8: 16, 16: 64, 5: 6}
+	for n, want := range cases {
+		if got := CFull(n); got != want {
+			t.Errorf("CFull(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLinkLimits(t *testing.T) {
+	got := LinkLimits(8)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("LinkLimits(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinkLimits(8) = %v, want %v", got, want)
+		}
+	}
+	got4 := LinkLimits(4)
+	if len(got4) != 3 || got4[2] != 4 {
+		t.Fatalf("LinkLimits(4) = %v, want [1 2 4]", got4)
+	}
+	got16 := LinkLimits(16)
+	if len(got16) != 7 || got16[6] != 64 {
+		t.Fatalf("LinkLimits(16) = %v", got16)
+	}
+}
+
+func TestHFBRowStructure(t *testing.T) {
+	r := HFBRow(8)
+	// Two fully connected halves of 4: 2 x (C(4,2)-3) = 2 x 3 = 6 spans.
+	if len(r.Express) != 6 {
+		t.Fatalf("HFB(8) spans = %d, want 6", len(r.Express))
+	}
+	// The middle cut carries only the local link (the HFB bottleneck the
+	// paper's Section 5.4 blames for its low throughput).
+	if got := r.CrossSection(3); got != 1 {
+		t.Fatalf("HFB middle cut = %d, want 1", got)
+	}
+	// Within a half, the center cut of that half carries 1 local + 2x2
+	// express = 4 links.
+	if got := r.CrossSection(1); got != 4 {
+		t.Fatalf("HFB quarter cut = %d, want 4", got)
+	}
+	if err := r.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// No span crosses the middle boundary.
+	for _, s := range r.Express {
+		if s.Covers(3) {
+			t.Fatalf("span %v crosses the quadrant boundary", s)
+		}
+	}
+}
+
+func TestHFBSmallDegeneratesToFB(t *testing.T) {
+	if !HFBRow(4).Equal(FlatButterflyRow(4)) {
+		t.Fatal("HFB(4) must equal the flattened butterfly")
+	}
+}
+
+func TestHFB16(t *testing.T) {
+	r := HFBRow(16)
+	if err := r.Validate(CFull(8)); err != nil {
+		t.Fatalf("HFB(16) exceeds quadrant CFull: %v", err)
+	}
+	if got := r.CrossSection(7); got != 1 {
+		t.Fatalf("HFB(16) middle cut = %d", got)
+	}
+}

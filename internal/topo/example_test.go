@@ -1,0 +1,44 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"explink/internal/topo"
+)
+
+// Build a placement by hand and inspect its bandwidth footprint.
+func ExampleRow() {
+	row := topo.NewRow(8, topo.Span{From: 0, To: 3}, topo.Span{From: 3, To: 7})
+	fmt.Println(row)
+	fmt.Println("cross-sections:", row.CrossSections())
+	fmt.Println("fits C=2:", row.Validate(2) == nil)
+	// Output:
+	// n=8 express=[0-3 3-7]
+	// cross-sections: [2 2 2 2 2 2 2]
+	// fits C=2: true
+}
+
+// The connection matrix guarantees every bit pattern is a feasible placement.
+func ExampleConnMatrix() {
+	m := topo.NewConnMatrix(8, 2)
+	// Fuse the layer across routers 1..6: one end-to-end express link.
+	for r := 1; r <= 6; r++ {
+		m.Set(0, r, true)
+	}
+	fmt.Println(m.Row())
+	m.FlipAt(3) // disconnect at router 4: the link splits in two
+	fmt.Println(m.Row())
+	// Output:
+	// n=8 express=[0-7]
+	// n=8 express=[0-4 4-7]
+}
+
+// Fixed comparison topologies from the paper.
+func ExampleHFBRow() {
+	hfb := topo.HFBRow(8)
+	fmt.Println("spans:", len(hfb.Express), "max cross-section:", hfb.MaxCrossSection())
+	fmt.Println("middle cut carries:", hfb.CrossSection(3), "link (the bottleneck)")
+	// Output:
+	// spans: 6 max cross-section: 4
+	// middle cut carries: 1 link (the bottleneck)
+}

@@ -1,0 +1,139 @@
+package traffic
+
+import (
+	"fmt"
+
+	"explink/internal/stats"
+)
+
+// This file provides synthetic proxies for the ten PARSEC 2.0 benchmarks the
+// paper evaluates (Fig. 6). The real traces require gem5 full-system
+// simulation of the actual applications — a data gate in this environment —
+// so each benchmark is modeled by the aggregate traffic statistics that the
+// placement problem actually depends on: injection rate, spatial locality,
+// directory/memory-controller hotspotting, and the long/short packet mix.
+// The per-benchmark constants below are plausible relative intensities chosen
+// to span the range reported in NoC characterization studies (canneal and
+// dedup traffic-heavy and irregular; blackscholes and swaptions compute-bound
+// and light); they are calibration knobs, not measurements, and DESIGN.md
+// documents the substitution.
+
+// Benchmark describes one synthetic application proxy.
+type Benchmark struct {
+	Name string
+	// InjRate is the packet injection rate per node per cycle.
+	InjRate float64
+	// LocalFrac is the probability a packet goes to a node within Radius
+	// (Manhattan), modeling near-neighbor sharing.
+	LocalFrac float64
+	// Radius bounds local destinations.
+	Radius int
+	// HotFrac is the probability a packet targets a memory-controller node
+	// (the four corners), modeling directory/memory traffic.
+	HotFrac float64
+	// PartnerFrac is the probability a packet goes to the node's fixed
+	// communication partner, modeling structured sharing: pipeline stages
+	// (dedup, ferret), producer-consumer rings (x264), and exchange phases.
+	PartnerFrac float64
+	// PartnerShift defines the partner: node id + PartnerShift mod N.
+	PartnerShift int
+	// LongFrac is the fraction of long (512-bit) packets; the remainder are
+	// short (128-bit). The paper's 1:4 ratio gives 0.2.
+	LongFrac float64
+}
+
+// Benchmarks returns the ten PARSEC proxies in the order of Fig. 6.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Name: "blackscholes", InjRate: 0.008, LocalFrac: 0.30, Radius: 2, HotFrac: 0.50, PartnerFrac: 0.10, PartnerShift: 1, LongFrac: 0.20},
+		{Name: "bodytrack", InjRate: 0.015, LocalFrac: 0.25, Radius: 2, HotFrac: 0.30, PartnerFrac: 0.35, PartnerShift: 28, LongFrac: 0.20},
+		{Name: "canneal", InjRate: 0.040, LocalFrac: 0.15, Radius: 2, HotFrac: 0.25, PartnerFrac: 0.10, PartnerShift: 27, LongFrac: 0.20},
+		{Name: "dedup", InjRate: 0.030, LocalFrac: 0.15, Radius: 3, HotFrac: 0.25, PartnerFrac: 0.50, PartnerShift: 32, LongFrac: 0.20},
+		{Name: "ferret", InjRate: 0.025, LocalFrac: 0.15, Radius: 3, HotFrac: 0.25, PartnerFrac: 0.50, PartnerShift: 36, LongFrac: 0.20},
+		{Name: "fluidanimate", InjRate: 0.020, LocalFrac: 0.60, Radius: 2, HotFrac: 0.10, PartnerFrac: 0.20, PartnerShift: 1, LongFrac: 0.20},
+		{Name: "raytrace", InjRate: 0.012, LocalFrac: 0.45, Radius: 2, HotFrac: 0.30, PartnerFrac: 0.15, PartnerShift: 2, LongFrac: 0.20},
+		{Name: "swaptions", InjRate: 0.006, LocalFrac: 0.30, Radius: 2, HotFrac: 0.45, PartnerFrac: 0.15, PartnerShift: 3, LongFrac: 0.20},
+		{Name: "vips", InjRate: 0.022, LocalFrac: 0.30, Radius: 2, HotFrac: 0.25, PartnerFrac: 0.35, PartnerShift: 20, LongFrac: 0.20},
+		{Name: "x264", InjRate: 0.028, LocalFrac: 0.40, Radius: 2, HotFrac: 0.15, PartnerFrac: 0.35, PartnerShift: 9, LongFrac: 0.20},
+	}
+}
+
+// BenchmarkByName looks a proxy up by its PARSEC name.
+func BenchmarkByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("traffic: unknown benchmark %q", name)
+}
+
+// parsecPattern samples destinations per the benchmark's statistics.
+type parsecPattern struct {
+	b   Benchmark
+	n   int
+	hot []int
+}
+
+// Pattern instantiates the proxy on an n x n network. Memory controllers sit
+// at the four corners.
+func (b Benchmark) Pattern(n int) Pattern {
+	hot := []int{0, n - 1, n * (n - 1), n*n - 1}
+	return parsecPattern{b: b, n: n, hot: hot}
+}
+
+func (p parsecPattern) Name() string { return p.b.Name }
+
+func (p parsecPattern) Dest(src int, rng *stats.RNG) int {
+	n := p.n
+	r := rng.Float64()
+	switch {
+	case r < p.b.PartnerFrac:
+		nodes := n * n
+		return (src + p.b.PartnerShift%nodes + nodes) % nodes
+	case r < p.b.PartnerFrac+p.b.HotFrac:
+		return p.hot[rng.Intn(len(p.hot))]
+	case r < p.b.PartnerFrac+p.b.HotFrac+p.b.LocalFrac:
+		// Local destination: random offset within the Manhattan radius.
+		x, y := src%n, src/n
+		for attempt := 0; attempt < 8; attempt++ {
+			dx := rng.Intn(2*p.b.Radius+1) - p.b.Radius
+			dy := rng.Intn(2*p.b.Radius+1) - p.b.Radius
+			abs := func(v int) int {
+				if v < 0 {
+					return -v
+				}
+				return v
+			}
+			if abs(dx)+abs(dy) == 0 || abs(dx)+abs(dy) > p.b.Radius {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			if nx >= 0 && nx < n && ny >= 0 && ny < n {
+				return ny*n + nx
+			}
+		}
+		return src // drop if no in-range neighbor was found
+	default:
+		d := rng.Intn(n*n - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}
+}
+
+// Mix returns the benchmark's packet-size mix.
+func (b Benchmark) Mix() []MixEntry {
+	return []MixEntry{
+		{Bits: 128, Frac: 1 - b.LongFrac},
+		{Bits: 512, Frac: b.LongFrac},
+	}
+}
+
+// MixEntry mirrors model.PacketClass without importing it, keeping traffic a
+// leaf package.
+type MixEntry struct {
+	Bits int
+	Frac float64
+}

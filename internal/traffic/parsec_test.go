@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"testing"
+
+	"explink/internal/stats"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 10 {
+		t.Fatalf("got %d benchmarks, want 10 (the PARSEC set of Fig. 6)", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		if b.InjRate <= 0 || b.InjRate > 0.2 {
+			t.Fatalf("%s: implausible injection rate %g", b.Name, b.InjRate)
+		}
+		if b.LocalFrac+b.HotFrac+b.PartnerFrac > 1 {
+			t.Fatalf("%s: fractions exceed 1", b.Name)
+		}
+		if b.PartnerFrac > 0 && b.PartnerShift == 0 {
+			t.Fatalf("%s: partner traffic with zero shift would self-address", b.Name)
+		}
+		if b.LongFrac != 0.2 {
+			t.Fatalf("%s: long fraction %g, want the paper's 0.2", b.Name, b.LongFrac)
+		}
+	}
+	for _, want := range []string{"blackscholes", "canneal", "x264"} {
+		if !names[want] {
+			t.Fatalf("missing benchmark %q", want)
+		}
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	b, err := BenchmarkByName("canneal")
+	if err != nil || b.Name != "canneal" {
+		t.Fatalf("lookup failed: %v %v", b, err)
+	}
+	if _, err := BenchmarkByName("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestParsecPatternDestinations(t *testing.T) {
+	n := 8
+	for _, b := range Benchmarks() {
+		p := b.Pattern(n)
+		rng := stats.NewRNG(13)
+		hot := map[int]bool{0: true, 7: true, 56: true, 63: true}
+		hotCount, total := 0, 20000
+		for i := 0; i < total; i++ {
+			src := rng.Intn(64)
+			d := p.Dest(src, rng)
+			if d < 0 || d >= 64 {
+				t.Fatalf("%s: destination %d out of range", b.Name, d)
+			}
+			if hot[d] {
+				hotCount++
+			}
+		}
+		frac := float64(hotCount) / float64(total)
+		// Hot traffic should be at least the configured fraction (corners
+		// also receive local/uniform traffic).
+		if frac < b.HotFrac*0.8 {
+			t.Fatalf("%s: hotspot fraction %g below configured %g", b.Name, frac, b.HotFrac)
+		}
+	}
+}
+
+func TestParsecLocality(t *testing.T) {
+	n := 8
+	b := Benchmark{Name: "local", InjRate: 0.01, LocalFrac: 1, Radius: 1, HotFrac: 0, LongFrac: 0.2}
+	p := b.Pattern(n)
+	rng := stats.NewRNG(17)
+	src := 27 // (3,3): interior node, both neighbors in range
+	for i := 0; i < 5000; i++ {
+		d := p.Dest(src, rng)
+		if d == src {
+			continue // dropped
+		}
+		dx, dy := d%n-src%n, d/n-src/n
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy > 1 {
+			t.Fatalf("radius-1 locality violated: dest %d from %d", d, src)
+		}
+	}
+}
+
+func TestBenchmarkMix(t *testing.T) {
+	b := Benchmarks()[0]
+	mix := b.Mix()
+	if len(mix) != 2 || mix[0].Bits != 128 || mix[1].Bits != 512 {
+		t.Fatalf("mix = %v", mix)
+	}
+	if mix[0].Frac+mix[1].Frac != 1 {
+		t.Fatalf("mix fractions = %v", mix)
+	}
+}

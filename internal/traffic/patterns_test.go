@@ -1,0 +1,200 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"explink/internal/stats"
+)
+
+func TestUniformRandomExcludesSelf(t *testing.T) {
+	p := UniformRandom(8)
+	rng := stats.NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		d := p.Dest(17, rng)
+		if d == 17 {
+			t.Fatal("UR returned the source")
+		}
+		if d < 0 || d >= 64 {
+			t.Fatalf("UR out of range: %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 63 {
+		t.Fatalf("UR reached %d destinations, want 63", len(seen))
+	}
+}
+
+func TestUniformRandomIsUniform(t *testing.T) {
+	p := UniformRandom(4)
+	rng := stats.NewRNG(2)
+	counts := make([]int, 16)
+	const trials = 150000
+	for i := 0; i < trials; i++ {
+		counts[p.Dest(0, rng)]++
+	}
+	want := float64(trials) / 15
+	for d := 1; d < 16; d++ {
+		if math.Abs(float64(counts[d])-want) > 0.1*want {
+			t.Fatalf("dest %d count %d deviates from %g", d, counts[d], want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := Transpose(8)
+	// (3, 5) -> (5, 3): src 5*8+3=43 -> 3*8+5=29.
+	if d := p.Dest(43, nil); d != 29 {
+		t.Fatalf("transpose(43) = %d, want 29", d)
+	}
+	// Diagonal maps to itself (dropped by the injector).
+	if d := p.Dest(9, nil); d != 9 {
+		t.Fatalf("transpose diagonal = %d", d)
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	p := BitReverse(8)
+	// 6 bits; id 1 = 000001 -> 100000 = 32.
+	if d := p.Dest(1, nil); d != 32 {
+		t.Fatalf("bitreverse(1) = %d, want 32", d)
+	}
+	if d := p.Dest(0, nil); d != 0 {
+		t.Fatalf("bitreverse(0) = %d", d)
+	}
+	// Involution property.
+	rng := stats.NewRNG(3)
+	if err := quick.Check(func(raw uint8) bool {
+		src := int(raw) % 64
+		return p.Dest(p.Dest(src, rng), rng) == src
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p := BitComplement(8)
+	if d := p.Dest(0, nil); d != 63 {
+		t.Fatalf("bc(0) = %d", d)
+	}
+	if d := p.Dest(21, nil); d != 42 {
+		t.Fatalf("bc(21) = %d", d)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	p := Shuffle(8)
+	// 6 bits: 100000 (32) -> 000001 (1).
+	if d := p.Dest(32, nil); d != 1 {
+		t.Fatalf("shuffle(32) = %d", d)
+	}
+	if d := p.Dest(3, nil); d != 6 {
+		t.Fatalf("shuffle(3) = %d", d)
+	}
+}
+
+func TestTornado(t *testing.T) {
+	p := Tornado(8)
+	// Shift of ceil(8/2)-1 = 3 in both dims: (0,0) -> (3,3) = 27.
+	if d := p.Dest(0, nil); d != 27 {
+		t.Fatalf("tornado(0) = %d", d)
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	p := Neighbor(8)
+	if d := p.Dest(0, nil); d != 1 {
+		t.Fatalf("neighbor(0) = %d", d)
+	}
+	if d := p.Dest(7, nil); d != 0 { // wraps within the row
+		t.Fatalf("neighbor(7) = %d", d)
+	}
+}
+
+func TestPermutationsAreValidNodes(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, p := range []Pattern{Transpose(8), BitReverse(8), BitComplement(8), Shuffle(8), Tornado(8), Neighbor(8)} {
+		for src := 0; src < 64; src++ {
+			d := p.Dest(src, rng)
+			if d < 0 || d >= 64 {
+				t.Fatalf("%s(%d) = %d out of range", p.Name(), src, d)
+			}
+		}
+	}
+}
+
+func TestBitPatternPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BitReverse(6)
+}
+
+func TestHotspot(t *testing.T) {
+	hot := []int{0, 63}
+	p := Hotspot(8, hot, 0.5, UniformRandom(8))
+	rng := stats.NewRNG(11)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		d := p.Dest(30, rng)
+		if d == 0 || d == 63 {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	// 50% direct hotspot traffic plus the background's occasional hits.
+	if frac < 0.48 || frac > 0.55 {
+		t.Fatalf("hotspot fraction = %g", frac)
+	}
+}
+
+func TestHotspotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty hotspot list")
+		}
+	}()
+	Hotspot(8, nil, 0.5, UniformRandom(8))
+}
+
+func TestMatrix(t *testing.T) {
+	n := 4
+	g := Matrix(n, Transpose(n), 10, stats.NewRNG(1))
+	// Transpose: deterministic, 10 units from each off-diagonal node to its
+	// mirror, zero elsewhere.
+	for s := 0; s < 16; s++ {
+		x, y := s%n, s/n
+		d := x*n + y
+		for j := 0; j < 16; j++ {
+			want := 0.0
+			if j == d && d != s {
+				want = 10
+			}
+			if g[s][j] != want {
+				t.Fatalf("gamma[%d][%d] = %g, want %g", s, j, g[s][j], want)
+			}
+		}
+	}
+}
+
+func TestMatrixUniformRoughlyFlat(t *testing.T) {
+	n := 4
+	g := Matrix(n, UniformRandom(n), 3000, stats.NewRNG(5))
+	for s := 0; s < 16; s++ {
+		if g[s][s] != 0 {
+			t.Fatal("self traffic recorded")
+		}
+		var sum float64
+		for d := 0; d < 16; d++ {
+			sum += g[s][d]
+		}
+		if sum != 3000 {
+			t.Fatalf("row %d sums to %g", s, sum)
+		}
+	}
+}
