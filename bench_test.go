@@ -218,6 +218,19 @@ func BenchmarkOptimize8x8(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimize8x8Seq pins Workers to 1; the delta against
+// BenchmarkOptimize8x8 (which uses GOMAXPROCS workers) is the parallel C-sweep
+// speedup. Both produce bit-identical placements.
+func BenchmarkOptimize8x8Seq(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.NewSolver(model.DefaultConfig(8))
+		s.Workers = 1
+		if _, _, err := s.Optimize(core.DCSA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Simulator micro-benchmarks ----
 
 func benchSim(b *testing.B, t topo.Topology, c int, rate float64) {

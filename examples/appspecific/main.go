@@ -47,10 +47,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	appTopo, err := solver.SolveWeighted(generic.C, weights, core.DCSA)
+	app, err := solver.SolveWeighted(generic.C, weights, core.DCSA)
 	if err != nil {
 		log.Fatal(err)
 	}
+	appTopo := app.Topology
 	appEval, err := core.WeightedLatency(cfg, appTopo, generic.C, gamma)
 	if err != nil {
 		log.Fatal(err)
@@ -66,8 +67,8 @@ func main() {
 	fmt.Printf("  mesh baseline:          %6.2f cycles\n", mesh.Total)
 	fmt.Printf("  general-purpose D&C_SA: %6.2f cycles (%.1f%% vs mesh)\n",
 		genericEval.Total, 100*(1-genericEval.Total/mesh.Total))
-	fmt.Printf("  application-specific:   %6.2f cycles (additional %.1f%% vs general-purpose)\n",
-		appEval.Total, 100*(1-appEval.Total/genericEval.Total))
+	fmt.Printf("  application-specific:   %6.2f cycles (additional %.1f%% vs general-purpose, %d evals)\n",
+		appEval.Total, 100*(1-appEval.Total/genericEval.Total), app.Evals)
 
 	// Show how the tuned topology differs per row (rows now vary because the
 	// hotspot corners skew each row's weights differently).

@@ -63,25 +63,43 @@ type Result struct {
 	Matrix   *topo.ConnMatrix
 	Row      topo.Row
 	Obj      float64
-	Evals    int64 // objective evaluations (includes the initial one)
+	Evals    int64 // objective queries (includes the initial one)
 	Accepted int64 // accepted moves
 	Uphill   int64 // accepted moves with ΔL > 0
-	History  []Point
+	// MemoHits counts objective queries served from the state memo (revisited
+	// bit patterns, mostly flip/revert churn); MemoMisses counts queries that
+	// paid a full routing evaluation. Evals == MemoHits + MemoMisses, so
+	// MemoMisses is the Fig. 7-style measure of actual work done.
+	MemoHits   int64
+	MemoMisses int64
+	History    []Point
 }
+
+// memoCap bounds the objective memo so pathological schedules cannot grow it
+// without limit; at the paper's 10⁴ moves the cap is never approached.
+const memoCap = 1 << 20
 
 // Minimize runs simulated annealing from the given initial matrix. The
 // initial matrix is not modified. When the matrix has no connection points
 // (C = 1 or n <= 2) the initial state is returned unchanged. Pass record =
 // true to collect the best-so-far history at every improvement.
+//
+// Objective values are memoized by connection-matrix bit pattern: a move that
+// revisits a known state (typically the flip/revert churn around the current
+// state) reuses the cached value instead of re-routing, and skips the matrix
+// decode entirely. The memo never changes the search trajectory — revisited
+// states score identically either way — so results are bit-for-bit equal to
+// the unmemoized search.
 func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG, record bool) Result {
 	cur := init.Clone()
 	curRow := cur.Row()
 	curObj := obj(curRow)
 	res := Result{
-		Matrix: cur.Clone(),
-		Row:    curRow,
-		Obj:    curObj,
-		Evals:  1,
+		Matrix:     cur.Clone(),
+		Row:        curRow,
+		Obj:        curObj,
+		Evals:      1,
+		MemoMisses: 1,
 	}
 	if record {
 		res.History = append(res.History, Point{Evals: 1, Best: curObj})
@@ -91,6 +109,10 @@ func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG
 		return res
 	}
 
+	memo := make(map[string]float64)
+	keyBuf := cur.AppendKey(nil)
+	memo[string(keyBuf)] = curObj
+
 	temp := sch.T0
 	sinceImprove := 0
 	for move := 1; move <= sch.Moves; move++ {
@@ -99,8 +121,17 @@ func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG
 		}
 		i := rng.Intn(bits)
 		cur.FlipAt(i)
-		candRow := cur.Row()
-		candObj := obj(candRow)
+		keyBuf = cur.AppendKey(keyBuf[:0])
+		candObj, hit := memo[string(keyBuf)]
+		if hit {
+			res.MemoHits++
+		} else {
+			candObj = obj(cur.Row())
+			res.MemoMisses++
+			if len(memo) < memoCap {
+				memo[string(keyBuf)] = candObj
+			}
+		}
 		res.Evals++
 
 		delta := candObj - curObj
@@ -118,7 +149,7 @@ func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG
 			if candObj < res.Obj {
 				res.Obj = candObj
 				res.Matrix = cur.Clone()
-				res.Row = candRow
+				res.Row = cur.Row()
 				sinceImprove = 0
 				if record {
 					res.History = append(res.History, Point{Evals: res.Evals, Best: candObj})

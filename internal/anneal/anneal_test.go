@@ -32,6 +32,53 @@ func TestWithMoves(t *testing.T) {
 	}
 }
 
+func TestWithMovesTinyBudgetRounding(t *testing.T) {
+	// Regression: budgets far below the original CoolEvery round the scaled
+	// cadence to zero, which the clamp must lift back to 1 so the schedule
+	// still cools; the run must also remain well-defined end to end.
+	for _, moves := range []int{1, 2, 3, 4} {
+		s := DefaultSchedule().WithMoves(moves)
+		if s.Moves != moves {
+			t.Fatalf("WithMoves(%d) kept %d moves", moves, s.Moves)
+		}
+		if s.CoolEvery != 1 {
+			t.Fatalf("WithMoves(%d) cadence = %d, want 1", moves, s.CoolEvery)
+		}
+		m := topo.NewConnMatrix(8, 4)
+		res := Minimize(m, rowObj, s, stats.NewRNG(17), false)
+		if res.Evals != int64(moves)+1 {
+			t.Fatalf("WithMoves(%d) run made %d evals", moves, res.Evals)
+		}
+	}
+	// A zero-move base schedule has no cadence to scale and must not divide
+	// by zero.
+	z := Schedule{T0: 1, Moves: 0, CoolEvery: 0, CoolDiv: 2}.WithMoves(10)
+	if z.Moves != 10 || z.CoolEvery != 0 {
+		t.Fatalf("zero-base schedule scaled to %+v", z)
+	}
+}
+
+func TestMinimizeMemoCounters(t *testing.T) {
+	m := topo.NewConnMatrix(8, 4)
+	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(23), false)
+	if res.MemoHits+res.MemoMisses != res.Evals {
+		t.Fatalf("hits %d + misses %d != evals %d", res.MemoHits, res.MemoMisses, res.Evals)
+	}
+	// Flip/revert churn guarantees revisits over a 10^4-move schedule on a
+	// 18-bit space.
+	if res.MemoHits == 0 {
+		t.Fatal("memo never hit")
+	}
+	if res.MemoMisses == 0 {
+		t.Fatal("memo never missed")
+	}
+	// The memo must not distort the reported optimum: the best row's true
+	// objective equals the recorded one.
+	if got := rowObj(res.Row); got != res.Obj {
+		t.Fatalf("memoized objective %v != recomputed %v", res.Obj, got)
+	}
+}
+
 func TestMinimizeNoBits(t *testing.T) {
 	// C=1 has an empty move space; the initial state must come back intact.
 	m := topo.NewConnMatrix(8, 1)

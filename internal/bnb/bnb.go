@@ -50,10 +50,10 @@ func optimalRow(n, c int, p model.Params, useBound bool) Result {
 		panic(fmt.Sprintf("bnb: invalid problem P(%d,%d)", n, c))
 	}
 	mesh := topo.MeshRow(n)
-	st := &searcher{n: n, c: c, p: p, useBound: useBound}
+	st := &searcher{n: n, c: c, p: p, obj: model.RowObjective(p), useBound: useBound}
 	st.spans = allSpans(n)
 	st.cuts = make([]int, maxInt(n-1, 0))
-	st.best = Result{Row: mesh, Mean: model.RowMean(mesh, p), Evals: 0}
+	st.best = Result{Row: mesh, Mean: st.obj(mesh), Evals: 0}
 	st.evals = 1 // the mesh evaluation above
 	if c > 1 {
 		st.search(0, topo.Row{N: n})
@@ -66,6 +66,7 @@ func optimalRow(n, c int, p model.Params, useBound bool) Result {
 type searcher struct {
 	n, c     int
 	p        model.Params
+	obj      func(topo.Row) float64 // scratch-backed row mean
 	spans    []topo.Span
 	cuts     []int // express links currently covering each cut
 	best     Result
@@ -75,7 +76,7 @@ type searcher struct {
 
 func (s *searcher) eval(r topo.Row) float64 {
 	s.evals++
-	return model.RowMean(r, s.p)
+	return s.obj(r)
 }
 
 func (s *searcher) search(idx int, cur topo.Row) {
@@ -141,6 +142,7 @@ func ExhaustiveMatrix(n, c int, p model.Params) Result {
 	if bits > 26 {
 		panic(fmt.Sprintf("bnb: exhaustive matrix space 2^%d too large", bits))
 	}
+	obj := model.RowObjective(p)
 	var best Result
 	var evals int64
 	for code := 0; code < 1<<bits; code++ {
@@ -150,7 +152,7 @@ func ExhaustiveMatrix(n, c int, p model.Params) Result {
 			m.Set(layer, router, want)
 		}
 		row := m.Row()
-		mean := model.RowMean(row, p)
+		mean := obj(row)
 		evals++
 		if evals == 1 || mean < best.Mean {
 			best.Mean = mean

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// forEachIndex runs fn(i) for every i in [0, n) on a bounded worker pool, in
+// the style of sim.RunMany. Results must be written to index-addressed slots
+// by fn, so the output is bit-identical for any worker count; all errors are
+// collected in index order and aggregated with errors.Join (nil when every
+// call succeeds). workers <= 0 uses GOMAXPROCS.
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return errors.Join(errs...)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}

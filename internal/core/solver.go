@@ -45,6 +45,11 @@ type Solver struct {
 	// the worst pair alone. Intermediate values trade the two, an extension
 	// useful when tail latency matters (Table 2's metric).
 	WorstWeight float64
+	// Workers bounds how many sub-problems Optimize (one per feasible C) and
+	// SolveWeighted (one per row/column line) solve concurrently; <= 0 uses
+	// GOMAXPROCS. Every sub-problem draws from its own rngFor stream, so the
+	// output is bit-identical for any worker count, including 1.
+	Workers int
 }
 
 // NewSolver returns a solver with the paper's default SA schedule.
@@ -66,7 +71,9 @@ func (r RowSolution) String() string {
 }
 
 // rowObjective builds the SA objective: the average row head latency, with
-// an optional worst-case blend (see Solver.WorstWeight).
+// an optional worst-case blend (see Solver.WorstWeight). The returned closure
+// owns a routing scratch, so it evaluates without allocating but must stay on
+// a single goroutine; SolveRow builds one per invocation.
 func (s *Solver) rowObjective() func(topo.Row) float64 {
 	w := s.WorstWeight
 	if w < 0 {
@@ -75,14 +82,14 @@ func (s *Solver) rowObjective() func(topo.Row) float64 {
 	if w > 1 {
 		w = 1
 	}
-	params := s.Cfg.Params
 	if w == 0 {
-		return func(r topo.Row) float64 { return model.RowMean(r, params) }
+		return model.RowObjective(s.Cfg.Params)
 	}
-	rp := params.Route()
+	scratch := route.NewScratch()
+	rp := s.Cfg.Params.Route()
 	return func(r topo.Row) float64 {
-		paths := route.Compute(r, rp)
-		return (1-w)*paths.MeanDist() + w*paths.MaxDist()
+		mean, max := scratch.MeanMax(r, rp)
+		return (1-w)*mean + w*max
 	}
 }
 
@@ -150,20 +157,29 @@ func (s *Solver) SolveRow(c int, algo Algorithm) (RowSolution, error) {
 
 // Optimize sweeps every feasible link limit, solves each, and returns the
 // best solution along with all per-C solutions (the D&C_SA curve of Fig. 5).
+// The per-C sub-problems are independent and run on a worker pool bounded by
+// s.Workers; output is bit-identical to a sequential sweep. On failure all
+// per-C errors are aggregated into the returned error.
 func (s *Solver) Optimize(algo Algorithm) (RowSolution, []RowSolution, error) {
 	limits := s.Cfg.BW.FeasibleLimits(topo.LinkLimits(s.Cfg.N))
 	if len(limits) == 0 {
 		return RowSolution{}, nil, fmt.Errorf("core: no feasible link limits for n=%d", s.Cfg.N)
 	}
-	var all []RowSolution
-	var best RowSolution
-	for i, c := range limits {
-		sol, err := s.SolveRow(c, algo)
+	all := make([]RowSolution, len(limits))
+	err := forEachIndex(len(limits), s.Workers, func(i int) error {
+		sol, err := s.SolveRow(limits[i], algo)
 		if err != nil {
-			return RowSolution{}, nil, err
+			return fmt.Errorf("core: C=%d: %w", limits[i], err)
 		}
-		all = append(all, sol)
-		if i == 0 || sol.Eval.Total < best.Eval.Total {
+		all[i] = sol
+		return nil
+	})
+	if err != nil {
+		return RowSolution{}, nil, err
+	}
+	best := all[0]
+	for _, sol := range all[1:] {
+		if sol.Eval.Total < best.Eval.Total {
 			best = sol
 		}
 	}

@@ -98,11 +98,19 @@ func TestSolveWeightedImprovesOnGeneric(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	appTopo, err := s.SolveWeighted(c, w, DCSA)
+	app, err := s.SolveWeighted(c, w, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	appEval, err := WeightedLatency(cfg, appTopo, c, g)
+	if app.Evals <= 0 || len(app.RowEvals) != n || len(app.ColEvals) != n {
+		t.Fatalf("missing evaluation accounting: %+v", app)
+	}
+	for i := 0; i < n; i++ {
+		if app.RowEvals[i] <= 0 || app.ColEvals[i] <= 0 {
+			t.Fatalf("line %d reported no evaluations", i)
+		}
+	}
+	appEval, err := WeightedLatency(cfg, app.Topology, c, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +131,11 @@ func TestSolveWeightedValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tp, err := s.SolveWeighted(4, w, DCSA)
+	sol, err := s.SolveWeighted(4, w, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tp.Validate(4); err != nil {
+	if err := sol.Topology.Validate(4); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -35,7 +35,7 @@ func Initial(n, c int, p model.Params) Result {
 	if n < 1 || c < 1 {
 		panic(fmt.Sprintf("dnc: invalid problem P(%d,%d)", n, c))
 	}
-	g := &generator{p: p, memo: make(map[[2]int]Result)}
+	g := &generator{p: p, obj: model.RowObjective(p), memo: make(map[[2]int]Result)}
 	res := g.solve(n, c)
 	res.Evals = g.evals
 	return res
@@ -43,6 +43,7 @@ func Initial(n, c int, p model.Params) Result {
 
 type generator struct {
 	p     model.Params
+	obj   func(topo.Row) float64 // scratch-backed row mean, reused across the run
 	evals int64
 	memo  map[[2]int]Result // sub-problem cache: equal halves are solved once
 }
@@ -58,7 +59,7 @@ func (g *generator) solve(n, c int) Result {
 		// No express layer available, or no room for an express span.
 		row := topo.MeshRow(n)
 		g.evals++
-		res = Result{Row: row, Mean: model.RowMean(row, g.p)}
+		res = Result{Row: row, Mean: g.obj(row)}
 	case n <= BaseSize:
 		b := bnb.OptimalRow(n, c, g.p)
 		g.evals += b.Evals
@@ -85,7 +86,7 @@ func (g *generator) combine(n, c int) Result {
 
 	best := base
 	g.evals++
-	bestMean := model.RowMean(base, g.p)
+	bestMean := g.obj(base)
 	for i := 0; i < h; i++ {
 		for j := h; j < n; j++ {
 			if j-i < 2 {
@@ -93,7 +94,7 @@ func (g *generator) combine(n, c int) Result {
 			}
 			cand := base.Add(topo.Span{From: i, To: j})
 			g.evals++
-			if m := model.RowMean(cand, g.p); m < bestMean {
+			if m := g.obj(cand); m < bestMean {
 				bestMean = m
 				best = cand
 			}

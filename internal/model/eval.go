@@ -52,9 +52,29 @@ func (e Eval) String() string {
 }
 
 // RowMean returns the average directional head latency over all n² ordered
-// pairs of a single row, the objective of the 1D problem P̃(n, C).
+// pairs of a single row, the objective of the 1D problem P̃(n, C). It uses the
+// pooled mean-only routing fast path; single-goroutine hot loops that want to
+// skip the pool handshake should hold a route.Scratch via RowObjective.
 func RowMean(row topo.Row, p Params) float64 {
-	return route.Compute(row, p.Route()).MeanDist()
+	return route.MeanDist(row, p.Route())
+}
+
+// RowObjective returns a closure computing RowMean backed by its own routing
+// scratch, for allocation-free evaluation in optimizer inner loops. The
+// closure is not safe for concurrent use; create one per goroutine.
+func RowObjective(p Params) func(topo.Row) float64 {
+	s := route.NewScratch()
+	rp := p.Route()
+	return func(r topo.Row) float64 { return s.MeanDist(r, rp) }
+}
+
+// WeightedRowObjective is the traffic-weighted analogue of RowObjective,
+// scoring rows by WeightedRowMean against the fixed weight matrix w. The
+// closure owns a routing scratch and is not safe for concurrent use.
+func WeightedRowObjective(p Params, w [][]float64) func(topo.Row) float64 {
+	s := route.NewScratch()
+	rp := p.Route()
+	return func(r topo.Row) float64 { return s.WeightedMean(r, rp, w) }
 }
 
 // EvalRow scores a row placement replicated over the whole n x n network at
@@ -199,24 +219,7 @@ func (cfg Config) MaxZeroLoad(t topo.Topology, c int) (float64, error) {
 // WeightedRowMean returns the traffic-weighted average head latency of a row,
 // Σ γ(a,b)·L_D(a,b) / Σ γ(a,b), the application-specific objective of
 // Section 5.6.4. A nil or all-zero weight matrix falls back to the uniform
-// mean.
+// mean. It uses the pooled mean-only routing fast path.
 func WeightedRowMean(row topo.Row, p Params, w [][]float64) float64 {
-	paths := route.Compute(row, p.Route())
-	if w == nil {
-		return paths.MeanDist()
-	}
-	var num, den float64
-	for i := 0; i < row.N; i++ {
-		for j := 0; j < row.N; j++ {
-			if i == j {
-				continue
-			}
-			num += w[i][j] * paths.Dist[i][j]
-			den += w[i][j]
-		}
-	}
-	if den == 0 {
-		return paths.MeanDist()
-	}
-	return num / den
+	return route.WeightedMean(row, p.Route(), w)
 }

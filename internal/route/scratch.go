@@ -1,0 +1,270 @@
+package route
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"explink/internal/topo"
+)
+
+// Scratch holds reusable buffers for row-path computation so that the
+// optimizer hot loops (simulated annealing, divide and conquer, branch and
+// bound) evaluate placements without allocating. A Scratch grows lazily to
+// the largest row it has seen and is NOT safe for concurrent use: give each
+// goroutine (each SA run, each solver line) its own instance, or use the
+// pooled package functions MeanDist, MeanMax and WeightedMean.
+//
+// The *RowPaths returned by ComputeInto is owned by the scratch and is only
+// valid until the next ComputeInto call on the same scratch; callers that
+// need to keep the tables must copy them.
+type Scratch struct {
+	inRight [][]int // incoming rightward edges per router, reused across rows
+	inLeft  [][]int // incoming leftward edges per router
+	dist    []float64
+	parent  []int
+	spans   []topo.Span // canonical-order span copy for ComputeInto
+	rp      *RowPaths
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure grows the per-router buffers to hold rows of n routers.
+func (s *Scratch) ensure(n int) {
+	if len(s.dist) >= n {
+		return
+	}
+	s.dist = make([]float64, n)
+	s.parent = make([]int, n)
+	old := len(s.inRight)
+	s.inRight = append(s.inRight, make([][]int, n-old)...)
+	s.inLeft = append(s.inLeft, make([][]int, n-old)...)
+}
+
+// buildAdj fills the incoming-edge lists for the row. When canonical is true
+// the express spans are visited in canonical order (matching Compute
+// bit-for-bit, including tie-breaks in Next); the fast paths skip the sort
+// because shortest-path distances do not depend on edge order.
+func (s *Scratch) buildAdj(row topo.Row, canonical bool) {
+	n := row.N
+	s.ensure(n)
+	for v := 0; v < n; v++ {
+		s.inRight[v] = s.inRight[v][:0]
+		s.inLeft[v] = s.inLeft[v][:0]
+	}
+	for v := 1; v < n; v++ {
+		s.inRight[v] = append(s.inRight[v], v-1)
+	}
+	for v := 0; v < n-1; v++ {
+		s.inLeft[v] = append(s.inLeft[v], v+1)
+	}
+	spans := row.Express
+	if canonical {
+		s.spans = append(s.spans[:0], row.Express...)
+		slices.SortFunc(s.spans, topo.CompareSpans)
+		spans = s.spans
+	}
+	for _, sp := range spans {
+		s.inRight[sp.To] = append(s.inRight[sp.To], sp.From)
+		s.inLeft[sp.From] = append(s.inLeft[sp.From], sp.To)
+	}
+}
+
+// distRow computes the directional shortest distances from source i into
+// s.dist[0:n]. Entries on the wrong side of previous sources are never read
+// (the sweeps only consult routers between the source and the destination),
+// so the buffer needs no clearing between sources.
+func (s *Scratch) distRow(i, n int, p Params) {
+	d := s.dist
+	d[i] = 0
+	for v := i + 1; v < n; v++ {
+		best := math.Inf(1)
+		for _, u := range s.inRight[v] {
+			if u < i || math.IsInf(d[u], 1) {
+				continue
+			}
+			if c := d[u] + p.EdgeCost(v-u); c < best {
+				best = c
+			}
+		}
+		d[v] = best
+	}
+	for v := i - 1; v >= 0; v-- {
+		best := math.Inf(1)
+		for _, u := range s.inLeft[v] {
+			if u > i || math.IsInf(d[u], 1) {
+				continue
+			}
+			if c := d[u] + p.EdgeCost(u-v); c < best {
+				best = c
+			}
+		}
+		d[v] = best
+	}
+}
+
+// MeanMax returns MeanDist and MaxDist of the row's directional shortest
+// paths without materializing any n x n table: only a single distance row is
+// kept, so the evaluation is allocation-free after warm-up. The mean
+// accumulates in the same pair order as RowPaths.MeanDist, so the result is
+// bit-identical to Compute(row, p).MeanDist().
+func (s *Scratch) MeanMax(row topo.Row, p Params) (mean, max float64) {
+	n := row.N
+	s.buildAdj(row, false)
+	var sum float64
+	for i := 0; i < n; i++ {
+		s.distRow(i, n, p)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := s.dist[j]
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return sum / float64(n*n), max
+}
+
+// MeanDist is the mean-only entry point of the fast path.
+func (s *Scratch) MeanDist(row topo.Row, p Params) float64 {
+	mean, _ := s.MeanMax(row, p)
+	return mean
+}
+
+// WeightedMean returns the w-weighted average of the row's pair distances,
+// Σ w[i][j]·Dist[i][j] / Σ w[i][j], falling back to the uniform mean when w
+// is nil or all-zero — the same contract as computing the full tables and
+// folding them, but without the n x n allocations.
+func (s *Scratch) WeightedMean(row topo.Row, p Params, w [][]float64) float64 {
+	n := row.N
+	s.buildAdj(row, false)
+	var sum, num, den float64
+	for i := 0; i < n; i++ {
+		s.distRow(i, n, p)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sum += s.dist[j]
+			if w != nil {
+				num += w[i][j] * s.dist[j]
+				den += w[i][j]
+			}
+		}
+	}
+	if w == nil || den == 0 {
+		return sum / float64(n*n)
+	}
+	return num / den
+}
+
+// ComputeInto computes the full directional shortest-path tables (Dist, Next,
+// Hops, Units) into the scratch's reusable RowPaths, producing exactly the
+// same tables as Compute. The returned pointer aliases scratch-owned memory;
+// see the type comment for the reuse contract.
+func (s *Scratch) ComputeInto(row topo.Row, p Params) *RowPaths {
+	n := row.N
+	s.buildAdj(row, true)
+	if s.rp == nil || s.rp.N != n {
+		s.rp = newRowPaths(n)
+	}
+	rp := s.rp
+	for i := 0; i < n; i++ {
+		parent := s.parent[:n]
+		for v := range parent {
+			parent[v] = -1
+		}
+		rp.Dist[i][i] = 0
+		rp.Next[i][i] = i
+		rp.Hops[i][i] = 0
+		rp.Units[i][i] = 0
+		for v := i + 1; v < n; v++ {
+			best := math.Inf(1)
+			bestU := -1
+			for _, u := range s.inRight[v] {
+				if u < i || math.IsInf(rp.Dist[i][u], 1) {
+					continue
+				}
+				if d := rp.Dist[i][u] + p.EdgeCost(v-u); d < best {
+					best, bestU = d, u
+				}
+			}
+			rp.Dist[i][v] = best
+			parent[v] = bestU
+			if bestU >= 0 {
+				rp.Hops[i][v] = rp.Hops[i][bestU] + 1
+				rp.Units[i][v] = rp.Units[i][bestU] + (v - bestU)
+			}
+		}
+		for v := i - 1; v >= 0; v-- {
+			best := math.Inf(1)
+			bestU := -1
+			for _, u := range s.inLeft[v] {
+				if u > i || math.IsInf(rp.Dist[i][u], 1) {
+					continue
+				}
+				if d := rp.Dist[i][u] + p.EdgeCost(u-v); d < best {
+					best, bestU = d, u
+				}
+			}
+			rp.Dist[i][v] = best
+			parent[v] = bestU
+			if bestU >= 0 {
+				rp.Hops[i][v] = rp.Hops[i][bestU] + 1
+				rp.Units[i][v] = rp.Units[i][bestU] + (bestU - v)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if parent[j] < 0 {
+				rp.Next[i][j] = -1
+				rp.Hops[i][j] = 0
+				rp.Units[i][j] = 0
+				continue
+			}
+			v := j
+			for parent[v] != i {
+				v = parent[v]
+			}
+			rp.Next[i][j] = v
+		}
+	}
+	return rp
+}
+
+// scratchPool backs the package-level convenience evaluators so that callers
+// without a natural place to hold a Scratch (e.g. model.RowMean) still run
+// allocation-free.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// MeanDist returns Compute(row, p).MeanDist() using a pooled scratch.
+func MeanDist(row topo.Row, p Params) float64 {
+	s := scratchPool.Get().(*Scratch)
+	mean := s.MeanDist(row, p)
+	scratchPool.Put(s)
+	return mean
+}
+
+// MeanMax returns Compute(row, p).MeanDist() and MaxDist() using a pooled
+// scratch.
+func MeanMax(row topo.Row, p Params) (mean, max float64) {
+	s := scratchPool.Get().(*Scratch)
+	mean, max = s.MeanMax(row, p)
+	scratchPool.Put(s)
+	return mean, max
+}
+
+// WeightedMean returns the weighted pair-distance average using a pooled
+// scratch; see Scratch.WeightedMean for the fallback contract.
+func WeightedMean(row topo.Row, p Params, w [][]float64) float64 {
+	s := scratchPool.Get().(*Scratch)
+	m := s.WeightedMean(row, p, w)
+	scratchPool.Put(s)
+	return m
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +11,12 @@ import (
 // results in input order. Each simulation is fully independent (its own
 // simulator, PRNG streams and statistics), so the output is bit-identical to
 // running them sequentially. workers <= 0 uses GOMAXPROCS.
+//
+// Partial-results contract: the returned slice always has len(cfgs) entries.
+// When the error is non-nil it aggregates every failed run (errors.Join, each
+// wrapped with its run index); the result slots of failed runs are
+// zero-valued and indistinguishable from a real zero Result, so callers must
+// not consume results[i] without first checking the error.
 func RunMany(cfgs []Config, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,11 +34,12 @@ func RunMany(cfgs []Config, workers int) ([]Result, error) {
 			defer wg.Done()
 			for i := range jobs {
 				s, err := New(cfgs[i])
-				if err != nil {
-					errs[i] = err
-					continue
+				if err == nil {
+					results[i], err = s.Run()
 				}
-				results[i], errs[i] = s.Run()
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: run %d: %w", i, err)
+				}
 			}
 		}()
 	}
@@ -40,10 +48,5 @@ func RunMany(cfgs []Config, workers int) ([]Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("sim: run %d: %w", i, err)
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }

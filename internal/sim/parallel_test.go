@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"explink/internal/topo"
@@ -40,6 +41,31 @@ func TestRunManyPropagatesErrors(t *testing.T) {
 	bad.InjectionRate = 7
 	if _, err := RunMany([]Config{good, bad}, 2); err == nil {
 		t.Fatal("bad config error not propagated")
+	}
+}
+
+func TestRunManyAggregatesAllErrors(t *testing.T) {
+	// Every failed run must be visible in the joined error, not only the
+	// lowest-index one, and successful runs must still return real results.
+	good := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
+	bad1 := good
+	bad1.InjectionRate = 7
+	bad2 := good
+	bad2.InjectionRate = -1
+	results, err := RunMany([]Config{good, bad1, bad2}, 2)
+	if err == nil {
+		t.Fatal("errors swallowed")
+	}
+	for _, want := range []string{"run 1", "run 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("aggregated error %q missing %q", err, want)
+		}
+	}
+	if len(results) != 3 {
+		t.Fatalf("partial results truncated: %d entries", len(results))
+	}
+	if results[0].MeasuredPackets == 0 {
+		t.Fatal("successful run lost its result")
 	}
 }
 

@@ -71,7 +71,15 @@ func FindSaturation(base Config, opts SaturationOpts) (SweepResult, error) {
 
 	lastGood, lastGoodThr := opts.Start, zero.ThroughputPackets
 	firstBad := 0.0
-	for rate := opts.Start * opts.Factor; rate <= opts.MaxRate; rate *= opts.Factor {
+	for rate := opts.Start; rate < opts.MaxRate; {
+		rate *= opts.Factor
+		if rate > opts.MaxRate {
+			// Clamp the final coarse step so the cap itself is probed; a pure
+			// geometric sweep can jump straight over MaxRate and report a
+			// network that only saturates near the cap as "never saturated"
+			// with a stale throughput from a much lower rate.
+			rate = opts.MaxRate
+		}
 		res, err := runAt(rate)
 		if err != nil {
 			return sr, err

@@ -44,6 +44,35 @@ func TestFindSaturationFindsKnee(t *testing.T) {
 	}
 }
 
+func TestFindSaturationProbesMaxRateExactly(t *testing.T) {
+	// Regression: with Start=0.02 and Factor=2 the geometric sweep visits
+	// 0.04 and then 0.08 > MaxRate=0.05, so the cap itself was never probed
+	// and a stable network was reported with the stale 0.04 throughput. The
+	// clamped sweep must land its final coarse step exactly on MaxRate.
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0)
+	base.Warmup, base.Measure, base.Drain = 300, 1500, 5000
+	opts := DefaultSaturationOpts()
+	opts.Start = 0.02
+	opts.Factor = 2
+	opts.MaxRate = 0.05
+	res, err := FindSaturation(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Rate != opts.MaxRate {
+		t.Fatalf("final probe at %g, want exactly MaxRate %g", last.Rate, opts.MaxRate)
+	}
+	// A 4x4 mesh is stable well above 0.05, so the best stable point is the
+	// cap itself, not a lower stale rate.
+	if res.SatRate != opts.MaxRate {
+		t.Fatalf("reported rate %g, want %g", res.SatRate, opts.MaxRate)
+	}
+	if res.Saturation <= 0 {
+		t.Fatalf("no throughput at the cap: %+v", res)
+	}
+}
+
 func TestFindSaturationNeverSaturates(t *testing.T) {
 	// With MaxRate below the network's knee the sweep must report the best
 	// stable point rather than failing.

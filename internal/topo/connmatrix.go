@@ -89,12 +89,34 @@ func (m *ConnMatrix) Equal(o *ConnMatrix) bool {
 	return m.n == o.n && m.c == o.c && slices.Equal(m.bits, o.bits)
 }
 
-// Randomize sets every bit independently to 1 with probability p, using
-// intn(2)-style draws from the supplied function. It is used to seed OnlySA.
+// Randomize sets every bit to the result of an independent draw from coin,
+// so the caller controls the bias (e.g. a closure returning true with
+// probability p). It is used to seed OnlySA with a uniform random state.
 func (m *ConnMatrix) Randomize(coin func() bool) {
 	for i := range m.bits {
 		m.bits[i] = coin()
 	}
+}
+
+// AppendKey appends a compact byte encoding of the bit pattern to dst and
+// returns the extended slice. Two matrices of the same shape have equal keys
+// iff they have equal bits, so string(key) serves as a map key for state
+// memoization (the SA objective cache).
+func (m *ConnMatrix) AppendKey(dst []byte) []byte {
+	var acc byte
+	for i, b := range m.bits {
+		if b {
+			acc |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, acc)
+			acc = 0
+		}
+	}
+	if len(m.bits)&7 != 0 {
+		dst = append(dst, acc)
+	}
+	return dst
 }
 
 // Row decodes the matrix into its express-link placement. The result always
