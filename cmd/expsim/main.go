@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"explink/internal/core"
 	"explink/internal/model"
@@ -83,6 +84,8 @@ func main() {
 		}
 		fmt.Printf("saturation throughput: %.4f packets/node/cycle (at offered %.4f)\n",
 			sweep.Saturation, sweep.SatRate)
+		fmt.Printf("simulated %d cycles in %v (%.0f cycles/sec)\n",
+			sweep.SimCycles, sweep.WallTime.Round(time.Millisecond), sweep.CyclesPerSec)
 		return
 	}
 
@@ -97,6 +100,8 @@ func main() {
 	fmt.Println(res.String())
 	fmt.Printf("  p95=%d p99=%d max=%d cycles, measured packets=%d\n",
 		res.P95Latency, res.P99Latency, res.MaxLatency, res.MeasuredPackets)
+	fmt.Printf("  simulated %d cycles in %v (%.0f cycles/sec)\n",
+		res.Cycles, res.WallTime.Round(time.Millisecond), res.CyclesPerSec)
 	if *showPow {
 		w, err := model.DefaultBandwidth().Width(c)
 		if err == nil {

@@ -153,6 +153,10 @@ func (c *Config) normalize() error {
 	if c.VCs < 1 {
 		c.VCs = 4
 	}
+	if c.VCs > 64 {
+		// The allocator tracks per-port VC occupancy in a 64-bit mask.
+		return fmt.Errorf("sim: %d VCs exceeds the supported maximum of 64", c.VCs)
+	}
 	if c.BufBitsPerRouter <= 0 {
 		c.BufBitsPerRouter = DefaultBufBits
 	}

@@ -46,7 +46,11 @@ func (q *vcFIFO) push(e bufEntry) {
 	if q.count == len(q.buf) {
 		panic("sim: VC buffer overflow — credit flow control violated")
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = e
+	i := q.head + q.count
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = e
 	q.count++
 }
 
@@ -62,7 +66,10 @@ func (q *vcFIFO) pop() bufEntry {
 		panic("sim: pop from empty VC buffer")
 	}
 	e := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.count--
 	return e
 }

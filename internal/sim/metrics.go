@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"explink/internal/stats"
 )
@@ -54,7 +55,23 @@ type Result struct {
 	Drained           bool
 	DeadlockSuspected bool
 
+	// WallTime is the host wall-clock duration of Run, and CyclesPerSec the
+	// resulting simulated-cycles-per-second rate. Both describe the machine,
+	// not the network: they are the only non-deterministic Result fields,
+	// and the golden bit-identity fixtures exclude them.
+	WallTime     time.Duration
+	CyclesPerSec float64
+
 	Counts Counts
+}
+
+// WithoutTiming returns the result with the wall-clock measurement fields
+// zeroed. Two runs of the same config are bit-identical under this view;
+// use it when comparing results for determinism.
+func (r Result) WithoutTiming() Result {
+	r.WallTime = 0
+	r.CyclesPerSec = 0
+	return r
 }
 
 func (r Result) String() string {

@@ -7,6 +7,11 @@ import (
 	"explink/internal/topo"
 )
 
+// maxMaskPorts bounds the input-port occupancy bitmask: routers with more
+// input ports take routerCycleWide's scan path instead. A variable (always 64
+// in production) so tests can force the scan path on small networks.
+var maxMaskPorts = 64
+
 // buildNetwork instantiates routers, channels, NIs and routing tables from
 // the topology. Duplicate parallel spans are dropped: the deterministic
 // routing tables would never spread load across them, so they only waste
@@ -38,17 +43,70 @@ func (s *Simulator) buildNetwork() {
 		cols[x] = linksOf(c)
 	}
 
+	// Pass 0: enumerate the link set in its canonical creation order (router
+	// id ascending, row neighbors then column neighbors, ascending position)
+	// and size every component store. Routers, ports, channels, VC states and
+	// flit buffers are then carved out of one contiguous backing array per
+	// kind, so the allocator's per-cycle walk (router -> inPort -> vcState ->
+	// bufEntry) stays within a few hot cache lines instead of chasing
+	// pointers across scattered heap objects. The subslices are created empty
+	// with exact capacity, so the append-style construction below fills them
+	// in place and every pointer into a store stays valid.
+	type linkRec struct{ src, dst, length int }
+	var links []linkRec
+	outCount := make([]int, routers)
+	inCount := make([]int, routers)
+	for id := 0; id < routers; id++ {
+		outCount[id] += k
+		inCount[id] += k
+		x, y := id%w, id/w
+		for _, nb := range rows[y].neighbors[x] {
+			links = append(links, linkRec{id, y*w + nb, absInt(nb - x)})
+			outCount[id]++
+			inCount[y*w+nb]++
+		}
+		for _, nb := range cols[x].neighbors[y] {
+			links = append(links, linkRec{id, nb*w + x, absInt(nb - y)})
+			outCount[id]++
+			inCount[nb*w+x]++
+		}
+	}
+	vcs := s.cfg.VCs
+	totOut, totIn, totBuf := 0, 0, 0
+	for id := 0; id < routers; id++ {
+		totOut += outCount[id]
+		totIn += inCount[id]
+		totBuf += inCount[id] * vcs * s.cfg.vcDepth(inCount[id])
+	}
+	routerStore := make([]router, routers)
+	chStore := make([]channel, len(links))
+	outStore := make([]outPort, totOut)
+	inStore := make([]inPort, totIn)
+	vcStore := make([]vcState, totIn*vcs)
+	bufStore := make([]bufEntry, totBuf)
+	credStore := make([]int, totOut*vcs)
+	holdStore := negOnes(totOut * vcs)
+	niStore := make([]nodeIface, s.nodes)
+	niCredStore := make([]int, s.nodes*vcs)
+
 	s.routers = make([]*router, routers)
 	s.nis = make([]*nodeIface, s.nodes)
+	s.channels = make([]*channel, 0, len(links))
+	outOff, inOff := 0, 0
 	for id := 0; id < routers; id++ {
 		x, y := id%w, id/w
-		r := &router{
+		r := &routerStore[id]
+		*r = router{
 			id: id, x: x, y: y,
 			rowNext: rowPaths[y].Next,
 			colNext: colPaths[x].Next,
 			rowOut:  negOnes(w),
 			colOut:  negOnes(h),
+			out:     outStore[outOff : outOff : outOff+outCount[id]],
+			in:      inStore[inOff : inOff : inOff+inCount[id]],
 		}
+		outOff += outCount[id]
+		inOff += inCount[id]
 		s.routers[id] = r
 	}
 
@@ -58,11 +116,14 @@ func (s *Simulator) buildNetwork() {
 		ch *channel
 	}
 	incomingOf := make([][]incoming, routers)
+	chIdx := 0
 	addLink := func(src, dst int, length int) {
 		sr := s.routers[src]
-		ch := &channel{latency: int64(length), lenUnits: int64(length), src: sr, dst: s.routers[dst]}
-		op := outPort{ch: ch}
-		sr.out = append(sr.out, op)
+		ch := &chStore[chIdx]
+		chIdx++
+		*ch = channel{latency: int64(length), lenUnits: int64(length), src: sr, dst: s.routers[dst],
+			idx: len(s.channels)}
+		sr.out = append(sr.out, outPort{ch: ch})
 		s.channels = append(s.channels, ch)
 		incomingOf[dst] = append(incomingOf[dst], incoming{ch: ch})
 	}
@@ -83,22 +144,57 @@ func (s *Simulator) buildNetwork() {
 		}
 	}
 
+	// The row/column tables are complete: flatten them into per-router
+	// dst -> outPort lookups unless the network is so large the tables would
+	// dominate memory (paper-scale networks are nowhere near the cutoff).
+	// Under DOR only the XY table is ever consulted, so the YX slot aliases
+	// it rather than baking routes no packet takes.
+	if routers*s.nodes <= 1<<22 {
+		xyStore := make([]int32, routers*s.nodes)
+		var yxStore []int32
+		if s.cfg.Routing == RoutingO1Turn {
+			yxStore = make([]int32, routers*s.nodes)
+		}
+		for _, r := range s.routers {
+			xy := xyStore[r.id*s.nodes : (r.id+1)*s.nodes]
+			for dst := range xy {
+				xy[dst] = r.routeFlit(dst, w, k, false)
+			}
+			r.routeTabs[0], r.routeTabs[1] = xy, xy
+			if yxStore != nil {
+				yx := yxStore[r.id*s.nodes : (r.id+1)*s.nodes]
+				for dst := range yx {
+					yx[dst] = r.routeFlit(dst, w, k, true)
+				}
+				r.routeTabs[1] = yx
+			}
+		}
+	}
+
 	// Second pass: input ports (injection first, then one per incoming
 	// channel) with depths from the fixed per-router buffer budget, and the
 	// matching credit counters on the upstream output ports.
+	vcOff, bufOff := 0, 0
 	for id := 0; id < routers; id++ {
 		r := s.routers[id]
 		numIn := k + len(incomingOf[id])
 		depth := s.cfg.vcDepth(numIn)
-		r.in = make([]inPort, 0, numIn)
+		takeIn := func(upLat int64, ni *nodeIface) {
+			vcl := vcStore[vcOff : vcOff+vcs : vcOff+vcs]
+			vcOff += vcs
+			bufs := bufStore[bufOff : bufOff+vcs*depth]
+			bufOff += vcs * depth
+			r.in = append(r.in, makeInPort(vcl, bufs, depth, upLat, ni))
+		}
 
 		for slot := 0; slot < k; slot++ {
 			core := id*k + slot
-			ni := &nodeIface{
+			ni := &niStore[core]
+			*ni = nodeIface{
 				id:       core,
 				rng:      stats.NewRNG(stats.MixSeed(s.cfg.Seed, uint64(core))),
 				curVC:    -1,
-				credits:  make([]int, s.cfg.VCs),
+				credits:  niCredStore[core*vcs : (core+1)*vcs : (core+1)*vcs],
 				injector: r,
 				inPort:   slot,
 			}
@@ -106,23 +202,31 @@ func (s *Simulator) buildNetwork() {
 				ni.credits[v] = depth
 			}
 			s.nis[core] = ni
-			r.in = append(r.in, makeInPort(s.cfg.VCs, depth, nil, 0, ni))
+			takeIn(0, ni)
 		}
 		for _, inc := range incomingOf[id] {
-			r.in = append(r.in, makeInPort(s.cfg.VCs, depth, nil, inc.ch.latency, nil))
+			takeIn(inc.ch.latency, nil)
 			inc.ch.dstPort = len(r.in) - 1
 		}
 	}
 
 	// Third pass: wire credit returns and credit counters now that both
-	// sides exist, and size ejection ports.
+	// sides exist, size ejection ports, and fix each router's allocator path
+	// (occupancy-mask fast path vs. the wide scan).
+	credOff := 0
 	for id := 0; id < routers; id++ {
 		r := s.routers[id]
+		if n := len(r.in); n > maxMaskPorts || n > 64 {
+			r.wide = true
+		} else {
+			r.inMask = uint64(1)<<uint(n) - 1
+		}
 		for oi := range r.out {
 			op := &r.out[oi]
+			op.credits = credStore[credOff : credOff+vcs : credOff+vcs]
+			op.holder = holdStore[credOff : credOff+vcs : credOff+vcs]
+			credOff += vcs
 			if op.isEject {
-				op.credits = make([]int, s.cfg.VCs)
-				op.holder = negOnes32(s.cfg.VCs)
 				for v := range op.credits {
 					op.credits[v] = 1 << 30 // the NI sink never backpressures
 				}
@@ -131,14 +235,25 @@ func (s *Simulator) buildNetwork() {
 			dst := op.ch.dst
 			dstIn := &dst.in[op.ch.dstPort]
 			dstIn.upOut = op
-			op.credits = make([]int, s.cfg.VCs)
-			op.holder = negOnes32(s.cfg.VCs)
 			for v := range op.credits {
 				op.credits[v] = dstIn.vcs[v].fifo.cap()
 			}
 		}
 	}
+	// Preallocate all inner-loop scratch: allocator scratch, the double-
+	// buffered active work lists (each bounded by its component count), and
+	// a starter packet free list. After this, steady-state step never grows
+	// a slice.
 	s.inCand = make([]int, s.maxInPorts())
+	s.outReq = make([]int, 0, s.maxOutPorts())
+	s.vcMask = uint64(1)<<uint(s.cfg.VCs) - 1 // VCs <= 64 enforced by normalize
+	numCh := len(s.channels)
+	s.chAct = make([]uint64, (numCh+63)/64)
+	s.rtrAct = make([]uint64, (routers+63)/64)
+	s.niAct = make([]uint64, (s.nodes+63)/64)
+	s.creditOuts = make([]*outPort, 0, totOut)
+	s.creditNIs = make([]*nodeIface, 0, s.nodes)
+	s.pktFree = make([]*packet, 0, 64)
 
 	// Ideal pairwise head latencies for the contention metric (XY order, and
 	// the YX mirror when O1TURN is enabled).
@@ -167,10 +282,13 @@ func (s *Simulator) buildNetwork() {
 	}
 }
 
-func makeInPort(vcs, depth int, up *outPort, upLat int64, ni *nodeIface) inPort {
-	ip := inPort{vcs: make([]vcState, vcs), upOut: up, upLatency: upLat, ni: ni}
+func makeInPort(vcl []vcState, bufs []bufEntry, depth int, upLat int64, ni *nodeIface) inPort {
+	ip := inPort{vcs: vcl, upLatency: upLat, ni: ni}
 	for v := range ip.vcs {
-		ip.vcs[v] = vcState{fifo: newVCFIFO(depth), outPort: -1, outVC: -1}
+		ip.vcs[v] = vcState{
+			fifo:    vcFIFO{buf: bufs[v*depth : (v+1)*depth : (v+1)*depth]},
+			outPort: -1, outVC: -1,
+		}
 	}
 	return ip
 }
@@ -196,8 +314,6 @@ func negOnes(n int) []int32 {
 	return out
 }
 
-func negOnes32(n int) []int32 { return negOnes(n) }
-
 func absInt(v int) int {
 	if v < 0 {
 		return -v
@@ -210,6 +326,16 @@ func (s *Simulator) maxInPorts() int {
 	for _, r := range s.routers {
 		if len(r.in) > m {
 			m = len(r.in)
+		}
+	}
+	return m
+}
+
+func (s *Simulator) maxOutPorts() int {
+	m := 0
+	for _, r := range s.routers {
+		if len(r.out) > m {
+			m = len(r.out)
 		}
 	}
 	return m

@@ -12,32 +12,26 @@ type nodeIface struct {
 	id  int
 	rng *stats.RNG
 
-	srcQ     []flit
-	sqHead   int
-	curVC    int // VC carrying the packet currently streaming, -1 if none
-	credits  []int
-	creditQ  []creditEvt
-	cqHead   int
-	injector *router
-	inPort   int // index of the injection inPort on the router
+	srcQ         flitRing
+	curVC        int // VC carrying the packet currently streaming, -1 if none
+	credits      []int
+	creditQ      credRing
+	injector     *router
+	inPort       int  // index of the injection inPort on the router
+	creditActive bool // on the simulator's pending-credit work list
 }
 
-func (ni *nodeIface) queued() int { return len(ni.srcQ) - ni.sqHead }
+func (ni *nodeIface) queued() int { return ni.srcQ.len() }
 
 func (ni *nodeIface) pushFlits(p *packet) {
 	for s := 0; s < p.flits; s++ {
-		ni.srcQ = append(ni.srcQ, flit{pkt: p, seq: int32(s)})
+		ni.srcQ.push(flit{pkt: p, seq: int32(s)})
 	}
 }
 
 func (ni *nodeIface) drainCredits(now int64) {
-	for ni.cqHead < len(ni.creditQ) && ni.creditQ[ni.cqHead].at <= now {
-		ni.credits[ni.creditQ[ni.cqHead].vc]++
-		ni.cqHead++
-	}
-	if ni.cqHead == len(ni.creditQ) {
-		ni.creditQ = ni.creditQ[:0]
-		ni.cqHead = 0
+	for ni.creditQ.len() > 0 && ni.creditQ.front().at <= now {
+		ni.credits[ni.creditQ.popFront().vc]++
 	}
 }
 
@@ -47,10 +41,10 @@ func (ni *nodeIface) drainCredits(now int64) {
 // buffer space; subsequent flits of the packet follow on the same VC
 // (wormhole ordering).
 func (ni *nodeIface) inject(now int64, s *Simulator) (flit, bool) {
-	if ni.queued() == 0 {
+	if ni.srcQ.len() == 0 {
 		return flit{}, false
 	}
-	f := ni.srcQ[ni.sqHead]
+	f := *ni.srcQ.front()
 	if f.isHead() && ni.curVC < 0 {
 		// Claim a VC with at least one free slot from the packet's routing
 		// class, round-robin from the packet id for determinism without bias.
@@ -70,12 +64,7 @@ func (ni *nodeIface) inject(now int64, s *Simulator) (flit, bool) {
 	}
 	vc := ni.curVC
 	ni.credits[vc]--
-	ni.srcQ[ni.sqHead] = flit{}
-	ni.sqHead++
-	if ni.sqHead == len(ni.srcQ) {
-		ni.srcQ = ni.srcQ[:0]
-		ni.sqHead = 0
-	}
+	ni.srcQ.popFront()
 	if f.isTail() {
 		ni.curVC = -1
 	}

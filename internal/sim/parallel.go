@@ -5,7 +5,22 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
+
+// Agg reports a batch's aggregate simulation throughput: how many simulated
+// cycles the batch covered and how fast the host chewed through them. Failed
+// runs contribute no cycles.
+type Agg struct {
+	SimCycles    int64         // total simulated cycles across successful runs
+	WallTime     time.Duration // wall-clock duration of the whole batch
+	CyclesPerSec float64       // SimCycles / WallTime
+}
+
+func (a Agg) String() string {
+	return fmt.Sprintf("%d cycles in %v (%.0f cycles/sec)",
+		a.SimCycles, a.WallTime.Round(time.Millisecond), a.CyclesPerSec)
+}
 
 // RunMany executes one simulation per config concurrently and returns the
 // results in input order. Each simulation is fully independent (its own
@@ -18,6 +33,14 @@ import (
 // zero-valued and indistinguishable from a real zero Result, so callers must
 // not consume results[i] without first checking the error.
 func RunMany(cfgs []Config, workers int) ([]Result, error) {
+	results, _, err := RunManyAgg(cfgs, workers)
+	return results, err
+}
+
+// RunManyAgg is RunMany plus the batch's aggregate simulated-cycles/sec, so
+// sweeps can report simulation throughput alongside their results.
+func RunManyAgg(cfgs []Config, workers int) ([]Result, Agg, error) {
+	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,5 +71,16 @@ func RunMany(cfgs []Config, workers int) ([]Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	return results, errors.Join(errs...)
+
+	var agg Agg
+	for i := range results {
+		if errs[i] == nil {
+			agg.SimCycles += results[i].Cycles
+		}
+	}
+	agg.WallTime = time.Since(start)
+	if sec := agg.WallTime.Seconds(); sec > 0 {
+		agg.CyclesPerSec = float64(agg.SimCycles) / sec
+	}
+	return results, agg, errors.Join(errs...)
 }

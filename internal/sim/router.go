@@ -22,68 +22,56 @@ type creditEvt struct {
 type channel struct {
 	latency  int64
 	lenUnits int64
+	idx      int // position in Simulator.channels: the deterministic delivery order
 	src      *router
 	dst      *router
 	dstPort  int
-	flits    int64      // total flits carried (utilization accounting)
-	q        []delivery // FIFO ordered by delivery time
-	qHead    int
+	flits    int64     // total flits carried (utilization accounting)
+	q        delivRing // FIFO ordered by delivery time
 }
 
-func (ch *channel) push(d delivery) { ch.q = append(ch.q, d) }
+func (ch *channel) push(d delivery) { ch.q.push(d) }
 
 // popReady removes and returns the next flit due at or before now.
 func (ch *channel) popReady(now int64) (delivery, bool) {
-	if ch.qHead >= len(ch.q) {
+	if ch.q.len() == 0 || ch.q.front().at > now {
 		return delivery{}, false
 	}
-	if ch.q[ch.qHead].at > now {
-		return delivery{}, false
-	}
-	d := ch.q[ch.qHead]
-	ch.q[ch.qHead] = delivery{} // drop the packet reference
-	ch.qHead++
-	if ch.qHead == len(ch.q) {
-		ch.q = ch.q[:0]
-		ch.qHead = 0
-	}
-	return d, true
+	return ch.q.popFront(), true
 }
 
-func (ch *channel) inFlight() int { return len(ch.q) - ch.qHead }
+func (ch *channel) inFlight() int { return ch.q.len() }
 
 // outPort is one router output: either a network channel or the ejection
 // port to the local NI.
 type outPort struct {
-	ch      *channel // nil for the ejection port
-	isEject bool
-	credits []int   // free downstream buffer slots per VC
-	holder  []int32 // which input VC holds each output VC: inPort<<16|vc, -1 free
-	creditQ []creditEvt
-	cqHead  int
-	rrIn    int // round-robin pointer for the output stage of the allocator
-	rrVC    int // round-robin pointer for VC allocation
+	ch           *channel // nil for the ejection port
+	isEject      bool
+	credits      []int   // free downstream buffer slots per VC
+	holder       []int32 // which input VC holds each output VC: inPort<<16|vc, -1 free
+	creditQ      credRing
+	rrIn         int  // round-robin pointer for the output stage of the allocator
+	rrVC         int  // round-robin pointer for VC allocation
+	reqd         bool // nominated this cycle; cleared during the grant pass
+	creditActive bool // on the simulator's pending-credit work list
 }
 
-func (o *outPort) pushCredit(e creditEvt) { o.creditQ = append(o.creditQ, e) }
-
 func (o *outPort) drainCredits(now int64) {
-	for o.cqHead < len(o.creditQ) && o.creditQ[o.cqHead].at <= now {
-		o.credits[o.creditQ[o.cqHead].vc]++
-		o.cqHead++
-	}
-	if o.cqHead == len(o.creditQ) {
-		o.creditQ = o.creditQ[:0]
-		o.cqHead = 0
+	for o.creditQ.len() > 0 && o.creditQ.front().at <= now {
+		o.credits[o.creditQ.popFront().vc]++
 	}
 }
 
 // vcState is one virtual channel of an input port: its flit FIFO plus the
 // route of the packet currently flowing through it.
 type vcState struct {
-	fifo    vcFIFO
-	outPort int32 // -1: head needs route computation
-	outVC   int32 // -1: needs VC allocation
+	fifo vcFIFO
+	// frontReady caches fifo.front().readyAt (maintained on every push to an
+	// empty FIFO and every pop), so the per-cycle switch-allocation
+	// eligibility check never touches the FIFO storage.
+	frontReady int64
+	outPort    int32 // -1: head needs route computation
+	outVC      int32 // -1: needs VC allocation
 }
 
 // inPort is one router input: the injection port (from the local NI) or the
@@ -94,7 +82,13 @@ type inPort struct {
 	upLatency int64
 	ni        *nodeIface // non-nil for the injection port
 	rrVC      int        // round-robin pointer for the input stage of the allocator
-	buffered  int        // flits across this port's VCs; empty ports are skipped
+	// occ has bit v set iff vcs[v] holds at least one flit; the allocator
+	// iterates set bits instead of scanning every VC. pend (a subset of occ)
+	// has bit v set iff the front flit of vcs[v] still needs route
+	// computation or VC allocation: mid-packet VCs drop out of the RC/VA
+	// loop entirely, which only ever did work on pending fronts.
+	occ  uint64
+	pend uint64
 }
 
 // router is one network node's switch.
@@ -105,12 +99,26 @@ type router struct {
 	out      []outPort
 	occupied int // buffered flits across all input VCs; idle routers are skipped
 
+	// portOcc has bit p set iff in[p] buffers at least one flit, letting the
+	// allocator visit only non-empty ports. Routers with more input ports
+	// than the mask width (wide == true, beyond any paper-scale
+	// configuration) skip the mask and take routerCycleWide's scan path.
+	portOcc uint64
+	inMask  uint64 // low len(in) bits set; masks rotated nomination words
+	wide    bool
+
 	// Routing tables (Fig. 3b): next-hop positions along the row/column and
 	// the output port reaching each neighbor.
 	rowNext [][]int // rowNext[from][toCol] = next column
 	colNext [][]int
 	rowOut  []int32 // rowOut[col] = out port index to row neighbor at col, -1 none
 	colOut  []int32
+
+	// routeTabs flattens the two-table walk into one dst -> outPort lookup,
+	// indexed by dimension order (0 = XY, 1 = YX). Built at New time from
+	// routeFlit whenever the footprint is small (always, at paper-scale
+	// sizes); nil tables fall back to the two-table walk.
+	routeTabs [2][]int32
 }
 
 // routeFlit implements the two-table lookup of Section 4.5.2: XY order, X

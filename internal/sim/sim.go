@@ -2,10 +2,20 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
+	"time"
 
 	"explink/internal/model"
 	"explink/internal/stats"
 )
+
+// b2i maps a dimension-order flag to a routeTabs index.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Simulator is one instantiated simulation. Create with New, run once with
 // Run; it is not reusable or safe for concurrent use.
@@ -38,8 +48,32 @@ type Simulator struct {
 	hardEnd       int64
 	deadlock      bool
 
-	inCand []int // scratch: per-inPort chosen VC during switch allocation
-	outReq []int // scratch: output ports with at least one nomination
+	inCand []int  // scratch: per-inPort chosen VC during switch allocation
+	outReq []int  // scratch: output ports with at least one nomination
+	vcMask uint64 // low cfg.VCs bits set; masks rotated occupancy words
+
+	// Active-set bitmaps. Each tracks exactly the components that can make
+	// progress — channels holding flits, routers with occupied buffers, NIs
+	// with queued flits — so step touches only those instead of scanning
+	// every component each cycle. Bit i of word w covers component index
+	// w*64+i, and scanning words in order visits components in ascending
+	// index order, which is observable: delivery order decides
+	// pipeline-bypass hits and packet-id assignment, and ejection order
+	// decides the float accumulation order of the collectors. Activation is
+	// an idempotent bit set; a component leaves when a step phase finds it
+	// drained. Credit drains only touch their own counters, so the two
+	// credit work lists are plain unordered slices.
+	chAct      []uint64
+	rtrAct     []uint64
+	niAct      []uint64
+	creditOuts []*outPort
+	creditNIs  []*nodeIface
+
+	// pktFree recycles packet objects: a packet returns to the list when its
+	// tail flit ejects (after all statistics are recorded), and generate /
+	// replayTrace reuse it for the next packet. In steady state the in-flight
+	// population is stable, so no packet is ever heap-allocated.
+	pktFree []*packet
 
 	traceIdx int          // replay cursor into cfg.Trace.Entries
 	recorded []TraceEntry // captured workload when cfg.RecordTrace
@@ -81,6 +115,7 @@ func New(cfg Config) (*Simulator, error) {
 
 // Run executes the whole simulation and returns its measurements.
 func (s *Simulator) Run() (Result, error) {
+	start := time.Now()
 	drained := false
 	for {
 		if s.now >= s.measEnd && s.taggedDone == s.taggedCreated && s.inFlightFlits == 0 {
@@ -97,7 +132,12 @@ func (s *Simulator) Run() (Result, error) {
 		s.step()
 		s.now++
 	}
-	return s.result(drained), nil
+	res := s.result(drained)
+	res.WallTime = time.Since(start)
+	if sec := res.WallTime.Seconds(); sec > 0 {
+		res.CyclesPerSec = float64(res.Cycles) / sec
+	}
+	return res, nil
 }
 
 func (s *Simulator) result(drained bool) Result {
@@ -132,27 +172,67 @@ func (s *Simulator) result(drained bool) Result {
 // generate and inject, (3) routers route, allocate VCs and arbitrate the
 // switch. All effects of phase 3 land at strictly later cycles, so the
 // sequential router order cannot leak same-cycle causality.
+//
+// Each phase walks an active-set work list instead of every component; the
+// lists hold exactly the components the replaced full scans would have found
+// work at, in the same order, so results are bit-identical (see DESIGN.md §5).
 func (s *Simulator) step() {
 	now := s.now
 
-	for _, ch := range s.channels {
-		for {
-			d, ok := ch.popReady(now)
-			if !ok {
-				break
+	// Flit deliveries due now, in channel-index order. Grants activate
+	// channels for the next cycle; a channel's bit clears when it empties.
+	// No delivery pushes onto a channel, so snapshotting each word is safe.
+	for wi, w := range s.chAct {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			w &= w - 1
+			ch := s.channels[wi<<6+tz]
+			for {
+				d, ok := ch.popReady(now)
+				if !ok {
+					break
+				}
+				s.deliverFlit(ch.dst, ch.dstPort, d, now)
 			}
-			s.deliverFlit(ch.dst, ch.dstPort, d, now)
+			if ch.q.len() == 0 {
+				s.chAct[wi] &^= 1 << uint(tz)
+				ch.q.shrinkIfDrained()
+			}
 		}
-	}
-	for _, r := range s.routers {
-		for oi := range r.out {
-			r.out[oi].drainCredits(now)
-		}
-	}
-	for _, ni := range s.nis {
-		ni.drainCredits(now)
 	}
 
+	// Credit returns due now. Each drain only increments its own credit
+	// counters, so these lists are unordered; a queue leaves when empty.
+	outs := s.creditOuts
+	live := 0
+	for _, op := range outs {
+		op.drainCredits(now)
+		if op.creditQ.len() > 0 {
+			outs[live] = op
+			live++
+		} else {
+			op.creditActive = false
+			op.creditQ.shrinkIfDrained()
+		}
+	}
+	s.creditOuts = outs[:live]
+	cnis := s.creditNIs
+	live = 0
+	for _, ni := range cnis {
+		ni.drainCredits(now)
+		if ni.creditQ.len() > 0 {
+			cnis[live] = ni
+			live++
+		} else {
+			ni.creditActive = false
+			ni.creditQ.shrinkIfDrained()
+		}
+	}
+	s.creditNIs = cnis[:live]
+
+	// Traffic generation. Every NI draws its injection coin every cycle —
+	// the per-cycle, per-NI RNG order is part of the bit-identity contract,
+	// so this scan must never be active-set filtered.
 	if injecting := now < s.measEnd; injecting {
 		if s.cfg.Trace != nil {
 			s.replayTrace()
@@ -164,17 +244,80 @@ func (s *Simulator) step() {
 			}
 		}
 	}
-	for _, ni := range s.nis {
-		if _, ok := ni.inject(now, s); ok {
-			s.inFlightFlits++
-			s.lastProgress = now
+
+	// Injection from NIs with queued flits, in NI-id order (packet-id
+	// assignment and per-router bypass checks observe it). Generation above
+	// has already set the bits of any NI that gained flits this cycle.
+	for wi, w := range s.niAct {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			w &= w - 1
+			ni := s.nis[wi<<6+tz]
+			if _, ok := ni.inject(now, s); ok {
+				s.inFlightFlits++
+				s.lastProgress = now
+			}
+			if ni.queued() == 0 {
+				s.niAct[wi] &^= 1 << uint(tz)
+				ni.srcQ.shrinkIfDrained()
+			}
 		}
 	}
 
-	for _, r := range s.routers {
-		if r.occupied > 0 {
+	// Router pipelines, in router-id order. Every set bit marks a router
+	// with occupied > 0 (the guard of the full scan this replaces), and
+	// routers never activate each other within this phase — grants land at
+	// strictly later cycles — so clearing drained bits while scanning a
+	// snapshot of each word is safe.
+	for wi, w := range s.rtrAct {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			w &= w - 1
+			r := s.routers[wi<<6+tz]
 			s.routerCycle(r)
+			if r.occupied == 0 {
+				s.rtrAct[wi] &^= 1 << uint(tz)
+			}
 		}
+	}
+}
+
+// takePacket pops a recycled packet from the free list (zeroed), or
+// allocates one while the in-flight population is still growing.
+func (s *Simulator) takePacket() *packet {
+	if n := len(s.pktFree) - 1; n >= 0 {
+		p := s.pktFree[n]
+		s.pktFree[n] = nil
+		s.pktFree = s.pktFree[:n]
+		*p = packet{}
+		return p
+	}
+	return new(packet)
+}
+
+// enqueue pushes a packet's flits into the NI source queue and puts the NI
+// on the injection work list.
+func (s *Simulator) enqueue(ni *nodeIface, p *packet) {
+	ni.pushFlits(p)
+	s.niAct[uint(ni.id)>>6] |= 1 << (uint(ni.id) & 63)
+}
+
+// queueCredit schedules a credit return on an upstream output port and puts
+// the port on the pending-credit work list.
+func (s *Simulator) queueCredit(op *outPort, e creditEvt) {
+	op.creditQ.push(e)
+	if !op.creditActive {
+		op.creditActive = true
+		s.creditOuts = append(s.creditOuts, op)
+	}
+}
+
+// queueNICredit schedules a credit return to an NI injection queue.
+func (s *Simulator) queueNICredit(ni *nodeIface, e creditEvt) {
+	ni.creditQ.push(e)
+	if !ni.creditActive {
+		ni.creditActive = true
+		s.creditNIs = append(s.creditNIs, ni)
 	}
 }
 
@@ -193,16 +336,15 @@ func (s *Simulator) generate(ni *nodeIface) {
 		}
 	}
 	s.nextPktID++
-	p := &packet{
-		id:       s.nextPktID,
-		src:      ni.id,
-		dst:      dst,
-		flits:    s.mixFlits[class],
-		class:    class,
-		created:  s.now,
-		injected: -1,
-		measured: s.now >= s.warmEnd && s.now < s.measEnd,
-	}
+	p := s.takePacket()
+	p.id = s.nextPktID
+	p.src = ni.id
+	p.dst = dst
+	p.flits = s.mixFlits[class]
+	p.class = class
+	p.created = s.now
+	p.injected = -1
+	p.measured = s.now >= s.warmEnd && s.now < s.measEnd
 	if s.cfg.Routing == RoutingO1Turn {
 		p.yx = ni.rng.Bool(0.5)
 	}
@@ -216,7 +358,7 @@ func (s *Simulator) generate(ni *nodeIface) {
 			Cycle: s.now, Src: p.src, Dst: p.dst, Bits: s.cfg.Mix[class].Bits,
 		})
 	}
-	ni.pushFlits(p)
+	s.enqueue(ni, p)
 }
 
 // RecordedTrace returns the workload captured during a run with RecordTrace
@@ -250,9 +392,20 @@ func (s *Simulator) deliverFlit(r *router, port int, d delivery, arrival int64) 
 	if s.cfg.PipelineBypass && r.occupied == 0 {
 		readyAt = arrival // idle router: skip straight to switch traversal
 	}
-	ip.vcs[d.vc].fifo.push(bufEntry{f: d.f, readyAt: readyAt})
+	vc := &ip.vcs[d.vc]
+	if vc.fifo.len() == 0 {
+		vc.frontReady = readyAt
+		if vc.outPort < 0 || vc.outVC < 0 {
+			ip.pend |= 1 << uint(d.vc) // new front needing route or VC
+		}
+	}
+	vc.fifo.push(bufEntry{f: d.f, readyAt: readyAt})
 	r.occupied++
-	ip.buffered++
+	ip.occ |= 1 << uint(d.vc)
+	if !r.wide {
+		r.portOcc |= 1 << uint(port)
+	}
+	s.rtrAct[uint(r.id)>>6] |= 1 << (uint(r.id) & 63)
 	s.counts.BufferWrites++
 	if d.f.isHead() && ip.ni != nil && d.f.pkt.injected < 0 {
 		d.f.pkt.injected = arrival
@@ -261,58 +414,85 @@ func (s *Simulator) deliverFlit(r *router, port int, d delivery, arrival int64) 
 
 // routerCycle performs route computation, VC allocation and switch
 // allocation for one router in one cycle.
+//
+// The pass over input ports fuses RC/VA with the input stage of switch
+// allocation. Fusing is order-equivalent to a two-pass structure because a
+// port's nomination eligibility reads only its own VCs' route state (written
+// by its own RC/VA, which still precedes it) plus output credits, which
+// RC/VA never touches. All loops iterate occupancy bitmasks instead of every
+// port and VC; the bit orders reproduce the full scans exactly — ascending
+// for ports and RC/VA, rotated-by-round-robin-pointer for the nomination and
+// grant stages, where rotating a mask right by rr makes trailing-zero order
+// equal to (rr+k)%n order.
 func (s *Simulator) routerCycle(r *router) {
+	if r.wide {
+		s.routerCycleWide(r)
+		return
+	}
 	now := s.now
-
-	// Route computation + VC allocation for every head flit at a buffer
-	// front. Both are modeled as instantaneous here; their pipeline cost is
-	// the readyAt eligibility delay applied at buffer write.
-	for pi := range r.in {
+	s.outReq = s.outReq[:0]
+	var nomMask uint64 // ports whose inCand entry is a live nomination
+	for pm := r.portOcc; pm != 0; pm &= pm - 1 {
+		pi := bits.TrailingZeros64(pm)
 		ip := &r.in[pi]
-		if ip.buffered == 0 {
-			continue
-		}
-		for vi := range ip.vcs {
+		occ := ip.occ
+
+		// Route computation + VC allocation for every pending buffer front.
+		// Both are modeled as instantaneous here; their pipeline cost is the
+		// readyAt eligibility delay applied at buffer write. A VC leaves the
+		// pending mask once fully assigned; a failed VC allocation keeps it
+		// pending for a retry next cycle.
+		for m := ip.pend; m != 0; m &= m - 1 {
+			vi := bits.TrailingZeros64(m)
 			vc := &ip.vcs[vi]
 			fe := vc.fifo.front()
-			if fe == nil {
-				continue
-			}
 			if fe.f.isHead() && vc.outPort < 0 {
-				vc.outPort = r.routeFlit(fe.f.pkt.dst, s.w, s.k, fe.f.pkt.yx)
+				p := fe.f.pkt
+				if tab := r.routeTabs[b2i(p.yx)]; tab != nil {
+					vc.outPort = tab[p.dst]
+				} else {
+					vc.outPort = r.routeFlit(p.dst, s.w, s.k, p.yx)
+				}
 			}
 			if vc.outPort >= 0 && vc.outVC < 0 {
 				op := &r.out[vc.outPort]
 				lo, hi := s.vcClass(fe.f.pkt.yx)
 				span := hi - lo
 				for k := 0; k < span; k++ {
-					cand := lo + (op.rrVC+k)%span
+					cand := op.rrVC + k
+					if cand >= span {
+						cand -= span
+					}
+					cand += lo
 					if op.holder[cand] < 0 {
 						op.holder[cand] = int32(pi)<<16 | int32(vi)
 						vc.outVC = int32(cand)
-						op.rrVC = (cand - lo + 1) % span
+						op.rrVC = cand - lo + 1
+						if op.rrVC == span {
+							op.rrVC = 0
+						}
 						s.counts.VCAllocs++
 						break
 					}
 				}
 			}
+			if vc.outVC >= 0 {
+				ip.pend &^= 1 << uint(vi)
+			}
 		}
-	}
 
-	// Switch allocation, stage 1: each input port nominates one eligible VC.
-	s.outReq = s.outReq[:0]
-	for pi := range r.in {
-		ip := &r.in[pi]
-		s.inCand[pi] = -1
-		if ip.buffered == 0 {
-			continue
-		}
-		nv := len(ip.vcs)
-		for k := 0; k < nv; k++ {
-			vi := (ip.rrVC + k) % nv
+		// Switch allocation, stage 1: the port nominates its first eligible
+		// VC in round-robin order from rrVC.
+		nv := uint(len(ip.vcs))
+		rr := uint(ip.rrVC)
+		rot := (occ>>rr | occ<<(nv-rr)) & s.vcMask
+		for m := rot; m != 0; m &= m - 1 {
+			vi := ip.rrVC + bits.TrailingZeros64(m)
+			if vi >= int(nv) {
+				vi -= int(nv)
+			}
 			vc := &ip.vcs[vi]
-			fe := vc.fifo.front()
-			if fe == nil || fe.readyAt > now || vc.outPort < 0 || vc.outVC < 0 {
+			if vc.frontReady > now || vc.outPort < 0 || vc.outVC < 0 {
 				continue
 			}
 			op := &r.out[vc.outPort]
@@ -320,16 +500,123 @@ func (s *Simulator) routerCycle(r *router) {
 				continue
 			}
 			s.inCand[pi] = vi
-			if !containsInt(s.outReq, int(vc.outPort)) {
+			nomMask |= 1 << uint(pi)
+			if !op.reqd {
+				op.reqd = true
 				s.outReq = append(s.outReq, int(vc.outPort))
 			}
 			break
 		}
 	}
 
-	// Stage 2: each requested output port grants one nominating input.
+	// Stage 2: each requested output port grants one nominating input, in
+	// round-robin order from rrIn over the nominating ports. The pending
+	// flags set in stage 1 are cleared here, so they are always all-false
+	// between routerCycle calls; a granted port's nomination bit is cleared
+	// the way the scan version invalidates its inCand entry.
+	ni := len(r.in)
 	for _, oi := range s.outReq {
 		op := &r.out[oi]
+		op.reqd = false
+		rr := uint(op.rrIn)
+		rot := (nomMask>>rr | nomMask<<(uint(ni)-rr)) & r.inMask
+		for m := rot; m != 0; m &= m - 1 {
+			pi := op.rrIn + bits.TrailingZeros64(m)
+			if pi >= ni {
+				pi -= ni
+			}
+			vi := s.inCand[pi]
+			if r.in[pi].vcs[vi].outPort != int32(oi) {
+				continue
+			}
+			nomMask &^= 1 << uint(pi)
+			op.rrIn = pi + 1
+			if op.rrIn == ni {
+				op.rrIn = 0
+			}
+			s.grantSwitch(r, pi, vi)
+			break
+		}
+	}
+}
+
+// routerCycleWide is routerCycle for routers with more input ports than the
+// occupancy mask holds: the same fused allocator, but walking every port and
+// scanning inCand directly during the grant stage. Reached only far beyond
+// paper-scale port counts; TestWidePathMatchesMasked pins its equivalence.
+func (s *Simulator) routerCycleWide(r *router) {
+	now := s.now
+	s.outReq = s.outReq[:0]
+	for pi := range r.in {
+		ip := &r.in[pi]
+		s.inCand[pi] = -1
+		occ := ip.occ
+		if occ == 0 {
+			continue
+		}
+		for m := ip.pend; m != 0; m &= m - 1 {
+			vi := bits.TrailingZeros64(m)
+			vc := &ip.vcs[vi]
+			fe := vc.fifo.front()
+			if fe.f.isHead() && vc.outPort < 0 {
+				p := fe.f.pkt
+				if tab := r.routeTabs[b2i(p.yx)]; tab != nil {
+					vc.outPort = tab[p.dst]
+				} else {
+					vc.outPort = r.routeFlit(p.dst, s.w, s.k, p.yx)
+				}
+			}
+			if vc.outPort >= 0 && vc.outVC < 0 {
+				op := &r.out[vc.outPort]
+				lo, hi := s.vcClass(fe.f.pkt.yx)
+				span := hi - lo
+				for k := 0; k < span; k++ {
+					cand := op.rrVC + k
+					if cand >= span {
+						cand -= span
+					}
+					cand += lo
+					if op.holder[cand] < 0 {
+						op.holder[cand] = int32(pi)<<16 | int32(vi)
+						vc.outVC = int32(cand)
+						op.rrVC = cand - lo + 1
+						if op.rrVC == span {
+							op.rrVC = 0
+						}
+						s.counts.VCAllocs++
+						break
+					}
+				}
+			}
+			if vc.outVC >= 0 {
+				ip.pend &^= 1 << uint(vi)
+			}
+		}
+		nv := len(ip.vcs)
+		for k := 0; k < nv; k++ {
+			vi := (ip.rrVC + k) % nv
+			if occ>>uint(vi)&1 == 0 {
+				continue
+			}
+			vc := &ip.vcs[vi]
+			if vc.frontReady > now || vc.outPort < 0 || vc.outVC < 0 {
+				continue
+			}
+			op := &r.out[vc.outPort]
+			if !op.isEject && op.credits[vc.outVC] <= 0 {
+				continue
+			}
+			s.inCand[pi] = vi
+			if !op.reqd {
+				op.reqd = true
+				s.outReq = append(s.outReq, int(vc.outPort))
+			}
+			break
+		}
+	}
+	for _, oi := range s.outReq {
+		op := &r.out[oi]
+		op.reqd = false
 		ni := len(r.in)
 		for k := 0; k < ni; k++ {
 			pi := (op.rrIn + k) % ni
@@ -345,15 +632,6 @@ func (s *Simulator) routerCycle(r *router) {
 	}
 }
 
-func containsInt(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
 // grantSwitch moves the winning flit across the crossbar into its output
 // channel (or to the ejection sink), returns a credit upstream, and releases
 // the output VC on tail flits.
@@ -364,8 +642,21 @@ func (s *Simulator) grantSwitch(r *router, pi, vi int) {
 	fe := vc.fifo.pop()
 	f := fe.f
 	r.occupied--
-	ip.buffered--
-	ip.rrVC = (vi + 1) % len(ip.vcs)
+	if vc.fifo.len() == 0 {
+		ip.occ &^= 1 << uint(vi)
+		if ip.occ == 0 && !r.wide {
+			r.portOcc &^= 1 << uint(pi)
+		}
+	} else {
+		vc.frontReady = vc.fifo.front().readyAt
+		if f.isTail() {
+			ip.pend |= 1 << uint(vi) // the next packet's head is now at front
+		}
+	}
+	ip.rrVC = vi + 1
+	if ip.rrVC == len(ip.vcs) {
+		ip.rrVC = 0
+	}
 	s.counts.BufferReads++
 	s.counts.SwitchTraversals++
 	s.lastProgress = now
@@ -375,10 +666,10 @@ func (s *Simulator) grantSwitch(r *router, pi, vi int) {
 
 	// Credit back to whoever feeds this input buffer.
 	if ip.upOut != nil {
-		ip.upOut.pushCredit(creditEvt{at: now + ip.upLatency, vc: vi})
+		s.queueCredit(ip.upOut, creditEvt{at: now + ip.upLatency, vc: vi})
 		s.counts.CreditsSent++
 	} else if ip.ni != nil {
-		ip.ni.creditQ = append(ip.ni.creditQ, creditEvt{at: now + 1, vc: vi})
+		s.queueNICredit(ip.ni, creditEvt{at: now + 1, vc: vi})
 		s.counts.CreditsSent++
 	}
 
@@ -391,6 +682,7 @@ func (s *Simulator) grantSwitch(r *router, pi, vi int) {
 		}
 		op.credits[vc.outVC]--
 		op.ch.push(delivery{at: now + 1 + op.ch.latency, f: f, vc: int(vc.outVC)})
+		s.chAct[uint(op.ch.idx)>>6] |= 1 << (uint(op.ch.idx) & 63)
 		op.ch.flits++
 		s.counts.LinkFlitUnits += op.ch.lenUnits
 	}
@@ -419,30 +711,32 @@ func (s *Simulator) eject(f flit, t int64) {
 	if t >= s.warmEnd && t < s.measEnd {
 		s.col.ejectedInWindow++
 	}
-	if !p.measured {
-		return
+	if p.measured {
+		s.taggedDone++
+		lat := int(t - p.created)
+		s.col.latency.Add(lat)
+		if p.injected >= 0 {
+			netLat := float64(t - p.injected)
+			s.col.netLatency.Add(netLat)
+			ideal := s.idealNetLatency(p)
+			hops := p.hops
+			if hops < 1 {
+				hops = 1
+			}
+			extra := netLat - ideal
+			if extra < 0 {
+				extra = 0
+			}
+			s.col.contention.Add(extra / float64(hops))
+			if s.onPacketDone != nil {
+				s.onPacketDone(p.src, p.dst, p.flits, p.hops, netLat, ideal)
+			}
+		}
+		s.col.hops.Add(float64(p.hops))
 	}
-	s.taggedDone++
-	lat := int(t - p.created)
-	s.col.latency.Add(lat)
-	if p.injected >= 0 {
-		netLat := float64(t - p.injected)
-		s.col.netLatency.Add(netLat)
-		ideal := s.idealNetLatency(p)
-		hops := p.hops
-		if hops < 1 {
-			hops = 1
-		}
-		extra := netLat - ideal
-		if extra < 0 {
-			extra = 0
-		}
-		s.col.contention.Add(extra / float64(hops))
-		if s.onPacketDone != nil {
-			s.onPacketDone(p.src, p.dst, p.flits, p.hops, netLat, ideal)
-		}
-	}
-	s.col.hops.Add(float64(p.hops))
+	// The tail has ejected and every statistic is recorded: the simulator
+	// owns the packet again and may hand it to the next generate call.
+	s.pktFree = append(s.pktFree, p)
 }
 
 // idealNetLatency is the zero-load network latency of a packet: head latency

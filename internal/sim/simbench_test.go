@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+// dcsaTopo8 solves the paper's 8x8 placement once (deterministic at seed 1);
+// the solve happens in benchmark setup, outside the timed region.
+var dcsaOnce struct {
+	sync.Once
+	tp  topo.Topology
+	c   int
+	err error
+}
+
+func dcsaTopo8(tb testing.TB) (topo.Topology, int) {
+	dcsaOnce.Do(func() {
+		s := core.NewSolver(model.DefaultConfig(8))
+		s.Seed = 1
+		best, _, err := s.Optimize(core.DCSA)
+		if err != nil {
+			dcsaOnce.err = err
+			return
+		}
+		dcsaOnce.tp, dcsaOnce.c = s.Topology(best), best.C
+	})
+	if dcsaOnce.err != nil {
+		tb.Fatal(dcsaOnce.err)
+	}
+	return dcsaOnce.tp, dcsaOnce.c
+}
+
+// steadySim builds a simulator stepped past warmup into steady state, with an
+// effectively infinite measurement window so injection never stops.
+func steadySim(tb testing.TB, tp topo.Topology, c int, rate float64, warmCycles int) *Simulator {
+	cfg := NewConfig(tp, c, traffic.UniformRandom(8), rate)
+	cfg.Seed = 1
+	cfg.Measure = 1 << 30
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warmCycles; i++ {
+		s.step()
+		s.now++
+	}
+	return s
+}
+
+func benchStep(b *testing.B, tp topo.Topology, c int, rate float64) {
+	s := steadySim(b, tp, c, rate, 3000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+		s.now++
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "cycles/sec")
+	}
+}
+
+// BenchmarkStep8x8UR measures the per-cycle cost of the simulator core on an
+// 8x8 network under uniform-random traffic: ns/op is wall time per simulated
+// cycle. "low" is the paper-typical 0.05 flits/node/cycle operating point,
+// "high" is near saturation.
+func BenchmarkStep8x8UR(b *testing.B) {
+	mesh := topo.Mesh(8)
+	b.Run("mesh/low", func(b *testing.B) { benchStep(b, mesh, 1, 0.05) })
+	b.Run("mesh/high", func(b *testing.B) { benchStep(b, mesh, 1, 0.25) })
+	dcsa, c := dcsaTopo8(b)
+	b.Run("dcsa/low", func(b *testing.B) { benchStep(b, dcsa, c, 0.05) })
+	b.Run("dcsa/high", func(b *testing.B) { benchStep(b, dcsa, c, 0.25) })
+}
+
+// BenchmarkRun4x4UR measures a whole short simulation (New+Run), covering
+// construction, warmup, measurement and drain.
+func BenchmarkRun4x4UR(b *testing.B) {
+	cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	cfg.Seed = 1
+	cfg.Warmup, cfg.Measure, cfg.Drain = 200, 1000, 3000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestStepSteadyStateZeroAllocs pins the tentpole's allocation contract: once
+// the engine reaches steady state at a paper-typical load, stepping the
+// simulator performs zero heap allocations (packets come from the free list,
+// all queues reuse their rings). AllocsPerRun truncates, so a rare histogram
+// bucket for a newly seen latency value does not flake the assertion.
+func TestStepSteadyStateZeroAllocs(t *testing.T) {
+	s := steadySim(t, topo.Mesh(8), 1, 0.05, 5000)
+	allocs := testing.AllocsPerRun(300, func() {
+		s.step()
+		s.now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state step allocates %.0f objects/cycle; want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 )
 
 // SweepPoint is one injection-rate sample of a load-latency curve.
@@ -17,6 +18,12 @@ type SweepResult struct {
 	Points     []SweepPoint
 	Saturation float64 // accepted packets/node/cycle at the last stable point
 	SatRate    float64 // offered rate of that point
+
+	// SimCycles, WallTime and CyclesPerSec report the sweep's aggregate
+	// simulation throughput over every probed rate.
+	SimCycles    int64
+	WallTime     time.Duration
+	CyclesPerSec float64
 }
 
 // SaturationOpts controls the throughput search.
@@ -41,11 +48,15 @@ func DefaultSaturationOpts() SaturationOpts {
 // FindSaturation sweeps the offered load upward until the network saturates,
 // then bisects to locate the knee. The base config's InjectionRate is
 // ignored; everything else (topology, pattern, seed, phases) is reused.
-func FindSaturation(base Config, opts SaturationOpts) (SweepResult, error) {
+func FindSaturation(base Config, opts SaturationOpts) (sr SweepResult, err error) {
 	if opts.Start <= 0 || opts.Factor <= 1 || opts.MaxRate <= 0 {
 		return SweepResult{}, fmt.Errorf("sim: bad saturation options %+v", opts)
 	}
-	var sr SweepResult
+	defer func() {
+		if sec := sr.WallTime.Seconds(); sec > 0 {
+			sr.CyclesPerSec = float64(sr.SimCycles) / sec
+		}
+	}()
 	runAt := func(rate float64) (Result, error) {
 		cfg := base
 		cfg.InjectionRate = rate
@@ -53,7 +64,12 @@ func FindSaturation(base Config, opts SaturationOpts) (SweepResult, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return s.Run()
+		res, err := s.Run()
+		if err == nil {
+			sr.SimCycles += res.Cycles
+			sr.WallTime += res.WallTime
+		}
+		return res, err
 	}
 
 	zero, err := runAt(opts.Start)

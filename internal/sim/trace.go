@@ -91,15 +91,14 @@ func (s *Simulator) replayTrace() {
 		s.traceIdx++
 		ni := s.nis[e.Src]
 		s.nextPktID++
-		p := &packet{
-			id:       s.nextPktID,
-			src:      e.Src,
-			dst:      e.Dst,
-			flits:    flitsForBits(e.Bits, s.cfg.WidthBits),
-			created:  s.now,
-			injected: -1,
-			measured: s.now >= s.warmEnd && s.now < s.measEnd,
-		}
+		p := s.takePacket()
+		p.id = s.nextPktID
+		p.src = e.Src
+		p.dst = e.Dst
+		p.flits = flitsForBits(e.Bits, s.cfg.WidthBits)
+		p.created = s.now
+		p.injected = -1
+		p.measured = s.now >= s.warmEnd && s.now < s.measEnd
 		if s.cfg.Routing == RoutingO1Turn {
 			p.yx = ni.rng.Bool(0.5)
 		}
@@ -108,7 +107,7 @@ func (s *Simulator) replayTrace() {
 		}
 		s.counts.PacketsInjected++
 		s.counts.FlitsInjected += int64(p.flits)
-		ni.pushFlits(p)
+		s.enqueue(ni, p)
 	}
 }
 

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWidePathMatchesMasked pins the equivalence of the two allocator
+// implementations: forcing maxMaskPorts to zero makes every router take
+// routerCycleWide's full-scan path, which must produce bit-identical results
+// to the default bitmask-driven path across the whole golden fixture matrix.
+func TestWidePathMatchesMasked(t *testing.T) {
+	masked := runGolden(t)
+
+	old := maxMaskPorts
+	maxMaskPorts = 0
+	defer func() { maxMaskPorts = old }()
+	wide := runGolden(t)
+
+	if len(masked) != len(wide) {
+		t.Fatalf("case count mismatch: %d masked vs %d wide", len(masked), len(wide))
+	}
+	for name, want := range masked {
+		got, ok := wide[name]
+		if !ok {
+			t.Errorf("%s: missing from wide-path run", name)
+			continue
+		}
+		if !reflect.DeepEqual(got.WithoutTiming(), want.WithoutTiming()) {
+			t.Errorf("%s: wide path diverged\nmasked: %+v\nwide:   %+v",
+				name, want.WithoutTiming(), got.WithoutTiming())
+		}
+	}
+}

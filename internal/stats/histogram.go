@@ -6,23 +6,38 @@ import (
 	"strings"
 )
 
+// histDense is the width of the dense counting array: samples in
+// [0, histDense) increment a slice slot instead of a map entry. Packet
+// latencies below saturation sit well inside this range, so the per-sample
+// cost on the hot path is one array increment.
+const histDense = 1 << 12
+
 // Histogram collects integer-valued samples (e.g. packet latencies in cycles)
-// and reports exact percentiles. Buckets are sparse, so wide-tailed
-// distributions cost only as much memory as their distinct values.
+// and reports exact percentiles. Small non-negative values count into a dense
+// array; anything else (a wide tail near saturation) spills into a sparse
+// map, so memory stays bounded by histDense plus the distinct tail values.
 type Histogram struct {
-	counts map[int]int64
+	dense  []int64
+	sparse map[int]int64
 	total  int64
 	sum    float64
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make(map[int]int64)}
+	return &Histogram{dense: make([]int64, histDense)}
 }
 
 // Add records one sample with value v.
 func (h *Histogram) Add(v int) {
-	h.counts[v]++
+	if uint(v) < histDense {
+		h.dense[v]++
+	} else {
+		if h.sparse == nil {
+			h.sparse = make(map[int]int64)
+		}
+		h.sparse[v]++
+	}
 	h.total++
 	h.sum += float64(v)
 }
@@ -36,6 +51,14 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.total)
+}
+
+// count returns the number of samples with value v.
+func (h *Histogram) count(v int) int64 {
+	if uint(v) < histDense {
+		return h.dense[v]
+	}
+	return h.sparse[v]
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using the
@@ -54,7 +77,7 @@ func (h *Histogram) Percentile(p float64) int {
 	keys := h.sortedKeys()
 	var seen int64
 	for _, k := range keys {
-		seen += h.counts[k]
+		seen += h.count(k)
 		if seen >= rank {
 			return k
 		}
@@ -73,17 +96,28 @@ func (h *Histogram) Max() int {
 
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
-	for k, c := range other.counts {
-		h.counts[k] += c
+	for v, c := range other.dense {
+		h.dense[v] += c
+	}
+	for v, c := range other.sparse {
+		if h.sparse == nil {
+			h.sparse = make(map[int]int64)
+		}
+		h.sparse[v] += c
 	}
 	h.total += other.total
 	h.sum += other.sum
 }
 
 func (h *Histogram) sortedKeys() []int {
-	keys := make([]int, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
+	keys := make([]int, 0, len(h.sparse)+16)
+	for v, c := range h.dense {
+		if c != 0 {
+			keys = append(keys, v)
+		}
+	}
+	for v := range h.sparse {
+		keys = append(keys, v)
 	}
 	sort.Ints(keys)
 	return keys
