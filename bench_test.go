@@ -11,6 +11,7 @@
 package explink
 
 import (
+	"context"
 	"testing"
 
 	"explink/internal/anneal"
@@ -191,7 +192,7 @@ func BenchmarkAnnealFullSchedule8x8C4(b *testing.B) {
 	sch := anneal.DefaultSchedule()
 	for i := 0; i < b.N; i++ {
 		m := topo.NewConnMatrix(8, 4)
-		anneal.Minimize(m, obj, sch, stats.NewRNG(uint64(i)), false)
+		anneal.Minimize(context.Background(), m, obj, sch, stats.NewRNG(uint64(i)), false)
 	}
 }
 
@@ -212,7 +213,7 @@ func BenchmarkBnBOptimalP84(b *testing.B) {
 func BenchmarkOptimize8x8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := core.NewSolver(model.DefaultConfig(8))
-		if _, _, err := s.Optimize(core.DCSA); err != nil {
+		if _, _, err := s.Optimize(context.Background(), core.DCSA); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -225,7 +226,7 @@ func BenchmarkOptimize8x8Seq(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := core.NewSolver(model.DefaultConfig(8))
 		s.Workers = 1
-		if _, _, err := s.Optimize(core.DCSA); err != nil {
+		if _, _, err := s.Optimize(context.Background(), core.DCSA); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -244,7 +245,7 @@ func benchSim(b *testing.B, t topo.Topology, c int, rate float64) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -266,7 +267,7 @@ func BenchmarkSimSaturated8x8(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.Run(); err != nil {
+		if _, err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -157,11 +158,13 @@ func runners() []runner {
 
 func main() {
 	var (
-		which  = flag.String("exp", "all", "experiment to run: all, or one of fig5..fig12, table2, appspec, ...")
-		quick  = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		outDir = flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
+		which   = flag.String("exp", "all", "experiment to run: all, or one of fig5..fig12, table2, appspec, ...")
+		quick   = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		outDir  = flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
+		timeout = flag.Duration("timeout", 0, "abort the whole suite after this wall-clock duration (0 = no limit)")
+		audit   = flag.Bool("audit", false, "run every simulation with the per-cycle invariant auditor enabled")
 	)
 	flag.Parse()
 
@@ -176,6 +179,12 @@ func main() {
 	opts := exp.DefaultOptions()
 	opts.Quick = *quick
 	opts.Seed = *seed
+	opts.Audit = *audit
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
 
 	ran := 0
 	for _, r := range rs {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,8 +20,10 @@ import (
 	"explink/internal/core"
 	"explink/internal/model"
 	"explink/internal/route"
+	"explink/internal/sim"
 	"explink/internal/stats"
 	"explink/internal/topo"
+	"explink/internal/traffic"
 )
 
 func main() {
@@ -35,8 +38,17 @@ func main() {
 		diagram = flag.Bool("diagram", false, "print an ASCII diagram of the chosen row placement")
 		matrix  = flag.Bool("matrix", false, "print the connection matrix of the chosen placement")
 		tables  = flag.Bool("tables", false, "print the per-router routing tables (Fig. 3b)")
+		timeout = flag.Duration("timeout", 0, "abort the optimization after this wall-clock duration (0 = no limit)")
+		audit   = flag.Bool("audit", false, "self-check the chosen design with a short audited simulation")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := model.DefaultConfig(*n)
 	cfg.BW.BaseWidth = *base
@@ -55,10 +67,10 @@ func main() {
 		err  error
 	)
 	if *c > 0 {
-		best, err = s.SolveRow(*c, core.Algorithm(*algo))
+		best, err = s.SolveRow(ctx, *c, core.Algorithm(*algo))
 		all = []core.RowSolution{best}
 	} else {
-		best, all, err = s.Optimize(core.Algorithm(*algo))
+		best, all, err = s.Optimize(ctx, core.Algorithm(*algo))
 	}
 	if err != nil {
 		fatal(err)
@@ -92,6 +104,25 @@ func main() {
 	}
 	if *tables {
 		fmt.Printf("\n%s", route.FormatTables(best.Row, cfg.Params.Route()))
+	}
+	if *audit {
+		// Self-verification: replay a short uniform-random workload through
+		// the chosen design with the invariant auditor enabled; any engine or
+		// placement inconsistency fails loudly instead of skewing results.
+		sc := sim.NewConfig(s.Topology(best), best.C, traffic.UniformRandom(*n), 0.02)
+		sc.Seed = *seed
+		sc.Warmup, sc.Measure, sc.Drain = 500, 2000, 10000
+		sc.Audit = true
+		simr, err := sim.New(sc)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := simr.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("audit simulation: %w", err))
+		}
+		fmt.Printf("\naudit: %d cycles simulated with all invariants holding (lat=%.2f cycles)\n",
+			res.Cycles, res.AvgPacketLatency)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -13,7 +14,7 @@ import (
 
 func TestEmitJSON(t *testing.T) {
 	s := core.NewSolver(model.DefaultConfig(8))
-	best, all, err := s.Optimize(core.DCSA)
+	best, all, err := s.Optimize(context.Background(), core.DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -39,10 +41,25 @@ func main() {
 		heatmap  = flag.Bool("heatmap", false, "print the per-router link-utilization heatmap after the run")
 		saveTr   = flag.String("savetrace", "", "record the workload and write it as JSON to this file")
 		loadTr   = flag.String("loadtrace", "", "replay a JSON trace instead of generating traffic")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
+		audit    = flag.Bool("audit", false, "run with the per-cycle invariant auditor enabled")
 	)
 	flag.Parse()
 
-	tp, c, err := buildTopo(*topoName, *n, *seed)
+	if *saturate && *loadTr != "" {
+		// A trace fixes the injection schedule, so there is no offered rate to
+		// sweep; silently ignoring one flag would misreport the other.
+		fatal(fmt.Errorf("-saturate and -loadtrace are mutually exclusive: a replayed trace has a fixed injection schedule"))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	tp, c, err := buildTopo(ctx, *topoName, *n, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,6 +71,7 @@ func main() {
 	cfg := sim.NewConfig(tp, c, pat, prate)
 	cfg.Seed = *seed
 	cfg.Warmup, cfg.Measure, cfg.Drain = *warmup, *measure, *drain
+	cfg.Audit = *audit
 	if *saveTr != "" {
 		cfg.RecordTrace = true
 	}
@@ -67,13 +85,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		tr.Name = filepath.Base(*loadTr)
 		cfg.Trace = tr
 		cfg.Pattern = nil
 		cfg.InjectionRate = 0
+		fmt.Printf("replaying trace %s (%d packets) on %s\n", tr.Name, len(tr.Entries), tp.Name)
 	}
 
 	if *saturate {
-		sweep, err := sim.FindSaturation(cfg, sim.DefaultSaturationOpts())
+		sweep, err := sim.FindSaturation(ctx, cfg, sim.DefaultSaturationOpts())
 		if err != nil {
 			fatal(err)
 		}
@@ -93,7 +113,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,7 +151,7 @@ func main() {
 	}
 }
 
-func buildTopo(name string, n int, seed uint64) (topo.Topology, int, error) {
+func buildTopo(ctx context.Context, name string, n int, seed uint64) (topo.Topology, int, error) {
 	switch strings.ToLower(name) {
 	case "mesh":
 		return topo.Mesh(n), 1, nil
@@ -144,7 +164,7 @@ func buildTopo(name string, n int, seed uint64) (topo.Topology, int, error) {
 	case "dcsa":
 		s := core.NewSolver(model.DefaultConfig(n))
 		s.Seed = seed
-		best, _, err := s.Optimize(core.DCSA)
+		best, _, err := s.Optimize(ctx, core.DCSA)
 		if err != nil {
 			return topo.Topology{}, 0, err
 		}

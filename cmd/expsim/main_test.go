@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
@@ -14,7 +15,7 @@ func TestBuildTopo(t *testing.T) {
 		{"fb", 16},
 	}
 	for _, c := range cases {
-		tp, limit, err := buildTopo(c.name, 8, 1)
+		tp, limit, err := buildTopo(context.Background(), c.name, 8, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -25,13 +26,13 @@ func TestBuildTopo(t *testing.T) {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 	}
-	if _, _, err := buildTopo("ring", 8, 1); err == nil {
+	if _, _, err := buildTopo(context.Background(), "ring", 8, 1); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
 
 func TestBuildTopoDCSA(t *testing.T) {
-	tp, c, err := buildTopo("dcsa", 8, 1)
+	tp, c, err := buildTopo(context.Background(), "dcsa", 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

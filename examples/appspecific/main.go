@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	gamma := traffic.Matrix(n, bench.Pattern(n), 4000, stats.NewRNG(7))
 
 	// 2. The general-purpose design, oblivious to gamma.
-	generic, _, err := solver.Optimize(core.DCSA)
+	generic, _, err := solver.Optimize(context.Background(), core.DCSA)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	app, err := solver.SolveWeighted(generic.C, weights, core.DCSA)
+	app, err := solver.SolveWeighted(context.Background(), generic.C, weights, core.DCSA)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 
 	// Build the three designs under test.
 	solver := core.NewSolver(cfg)
-	best, _, err := solver.Optimize(core.DCSA)
+	best, _, err := solver.Optimize(context.Background(), core.DCSA)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := s.Run()
+			res, err := s.Run(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	//    one-dimensional placement problem P̃(8, C) with divide-and-conquer
 	//    initialization plus connection-matrix simulated annealing.
 	solver := core.NewSolver(cfg)
-	best, all, err := solver.Optimize(core.DCSA)
+	best, all, err := solver.Optimize(context.Background(), core.DCSA)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	const w, h = 8, 4
 	solver := core.NewRectSolver(w, h)
 
-	best, all, err := solver.OptimizeRect(core.DCSA)
+	best, all, err := solver.OptimizeRect(context.Background(), core.DCSA)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	meshRes, err := ms.Run()
+	meshRes, err := ms.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		best, _, err := solver.Optimize(core.DCSA)
+		best, _, err := solver.Optimize(context.Background(), core.DCSA)
 		if err != nil {
 			log.Fatal(err)
 		}

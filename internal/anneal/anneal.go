@@ -7,6 +7,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 
 	"explink/internal/stats"
@@ -84,13 +85,20 @@ const memoCap = 1 << 20
 // (C = 1 or n <= 2) the initial state is returned unchanged. Pass record =
 // true to collect the best-so-far history at every improvement.
 //
+// Cancelling ctx ends the search at the next move boundary; the best state
+// found so far is returned (anytime semantics — the caller decides whether a
+// truncated search is an error, see core.SolveRow).
+//
 // Objective values are memoized by connection-matrix bit pattern: a move that
 // revisits a known state (typically the flip/revert churn around the current
 // state) reuses the cached value instead of re-routing, and skips the matrix
 // decode entirely. The memo never changes the search trajectory — revisited
 // states score identically either way — so results are bit-for-bit equal to
 // the unmemoized search.
-func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG, record bool) Result {
+func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG, record bool) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cur := init.Clone()
 	curRow := cur.Row()
 	curObj := obj(curRow)
@@ -118,6 +126,9 @@ func Minimize(init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG
 	for move := 1; move <= sch.Moves; move++ {
 		if sch.StopAfterNoImprove > 0 && sinceImprove >= sch.StopAfterNoImprove {
 			break
+		}
+		if ctx.Err() != nil {
+			break // every move pays an objective eval, so per-move polling is cheap
 		}
 		i := rng.Intn(bits)
 		cur.FlipAt(i)

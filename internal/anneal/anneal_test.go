@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestWithMovesTinyBudgetRounding(t *testing.T) {
 			t.Fatalf("WithMoves(%d) cadence = %d, want 1", moves, s.CoolEvery)
 		}
 		m := topo.NewConnMatrix(8, 4)
-		res := Minimize(m, rowObj, s, stats.NewRNG(17), false)
+		res := Minimize(context.Background(), m, rowObj, s, stats.NewRNG(17), false)
 		if res.Evals != int64(moves)+1 {
 			t.Fatalf("WithMoves(%d) run made %d evals", moves, res.Evals)
 		}
@@ -60,7 +61,7 @@ func TestWithMovesTinyBudgetRounding(t *testing.T) {
 
 func TestMinimizeMemoCounters(t *testing.T) {
 	m := topo.NewConnMatrix(8, 4)
-	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(23), false)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(23), false)
 	if res.MemoHits+res.MemoMisses != res.Evals {
 		t.Fatalf("hits %d + misses %d != evals %d", res.MemoHits, res.MemoMisses, res.Evals)
 	}
@@ -82,7 +83,7 @@ func TestMinimizeMemoCounters(t *testing.T) {
 func TestMinimizeNoBits(t *testing.T) {
 	// C=1 has an empty move space; the initial state must come back intact.
 	m := topo.NewConnMatrix(8, 1)
-	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(1), false)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(1), false)
 	if res.Evals != 1 {
 		t.Fatalf("evals = %d", res.Evals)
 	}
@@ -94,7 +95,7 @@ func TestMinimizeNoBits(t *testing.T) {
 func TestMinimizeImproves(t *testing.T) {
 	m := topo.NewConnMatrix(8, 4) // start from mesh
 	init := rowObj(m.Row())
-	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(7), false)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(7), false)
 	if res.Obj >= init {
 		t.Fatalf("SA failed to improve: %g >= %g", res.Obj, init)
 	}
@@ -109,7 +110,7 @@ func TestMinimizeImproves(t *testing.T) {
 func TestMinimizeDoesNotMutateInit(t *testing.T) {
 	m := topo.NewConnMatrix(8, 4)
 	snapshot := m.Clone()
-	Minimize(m, rowObj, DefaultSchedule().WithMoves(500), stats.NewRNG(3), false)
+	Minimize(context.Background(), m, rowObj, DefaultSchedule().WithMoves(500), stats.NewRNG(3), false)
 	if !m.Equal(snapshot) {
 		t.Fatal("initial matrix was mutated")
 	}
@@ -118,7 +119,7 @@ func TestMinimizeDoesNotMutateInit(t *testing.T) {
 func TestMinimizeDeterministic(t *testing.T) {
 	run := func() Result {
 		m := topo.NewConnMatrix(8, 4)
-		return Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(42), false)
+		return Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(42), false)
 	}
 	a, b := run(), run()
 	if a.Obj != b.Obj || !a.Row.Equal(b.Row) || a.Accepted != b.Accepted {
@@ -131,7 +132,7 @@ func TestMinimizeFindsOptimumSmall(t *testing.T) {
 	// optimum.
 	opt := bnb.ExhaustiveMatrix(8, 2, p)
 	m := topo.NewConnMatrix(8, 2)
-	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(5), false)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(5), false)
 	if math.Abs(res.Obj-opt.Mean) > 1e-9 {
 		t.Fatalf("SA found %g, optimum is %g", res.Obj, opt.Mean)
 	}
@@ -139,7 +140,7 @@ func TestMinimizeFindsOptimumSmall(t *testing.T) {
 
 func TestMinimizeHistoryMonotone(t *testing.T) {
 	m := topo.NewConnMatrix(8, 4)
-	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(9), true)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(9), true)
 	if len(res.History) < 2 {
 		t.Fatalf("history too short: %v", res.History)
 	}
@@ -161,7 +162,7 @@ func TestMinimizeAcceptsUphillEarly(t *testing.T) {
 	// With T0 = 10 the early phase must accept some uphill moves; a purely
 	// greedy search would get stuck in the first local optimum.
 	m := topo.NewConnMatrix(8, 4)
-	res := Minimize(m, rowObj, DefaultSchedule(), stats.NewRNG(11), false)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule(), stats.NewRNG(11), false)
 	if res.Uphill == 0 {
 		t.Fatal("no uphill moves accepted; annealing degenerated to greedy")
 	}
@@ -169,7 +170,7 @@ func TestMinimizeAcceptsUphillEarly(t *testing.T) {
 
 func TestMinimizeZeroMoves(t *testing.T) {
 	m := topo.NewConnMatrix(8, 4)
-	res := Minimize(m, rowObj, Schedule{T0: 10, Moves: 0, CoolEvery: 1, CoolDiv: 2}, stats.NewRNG(1), false)
+	res := Minimize(context.Background(), m, rowObj, Schedule{T0: 10, Moves: 0, CoolEvery: 1, CoolDiv: 2}, stats.NewRNG(1), false)
 	if res.Evals != 1 || !res.Row.Equal(topo.MeshRow(8)) {
 		t.Fatalf("zero-move run changed state: %v", res.Row)
 	}
@@ -183,7 +184,7 @@ func TestMinimizeFromGoodInitNeverWorse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Minimize(m, rowObj, DefaultSchedule().WithMoves(2000), stats.NewRNG(13), false)
+	res := Minimize(context.Background(), m, rowObj, DefaultSchedule().WithMoves(2000), stats.NewRNG(13), false)
 	if res.Obj > good.Mean+1e-9 {
 		t.Fatalf("SA returned %g, worse than its seed %g", res.Obj, good.Mean)
 	}

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"testing"
 
 	"explink/internal/stats"
@@ -64,7 +65,7 @@ func TestMatrixGeneratorBeatsNaiveAtTightLimits(t *testing.T) {
 	for seed := uint64(0); seed < 5; seed++ {
 		sch := DefaultSchedule().WithMoves(budget)
 		m := topo.NewConnMatrix(16, 2)
-		mres := Minimize(m, rowObj, sch, stats.NewRNG(stats.MixSeed(seed, 1)), false)
+		mres := Minimize(context.Background(), m, rowObj, sch, stats.NewRNG(stats.MixSeed(seed, 1)), false)
 		matrixSum += mres.Obj
 		nres := MinimizeNaive(topo.MeshRow(16), 2, rowObj, sch, stats.NewRNG(stats.MixSeed(seed, 2)))
 		naiveSum += nres.Obj

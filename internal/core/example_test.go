@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"explink/internal/core"
@@ -11,7 +12,7 @@ import (
 // network and pick the design minimizing L_avg = L_D + L_S.
 func ExampleSolver_Optimize() {
 	solver := core.NewSolver(model.DefaultConfig(8))
-	best, all, err := solver.Optimize(core.DCSA)
+	best, all, err := solver.Optimize(context.Background(), core.DCSA)
 	if err != nil {
 		panic(err)
 	}
@@ -33,7 +34,7 @@ func ExampleSolver_Optimize() {
 // Rectangular platforms solve each dimension independently.
 func ExampleRectSolver_SolveRect() {
 	rs := core.NewRectSolver(8, 4)
-	sol, err := rs.SolveRect(4, core.DCSA)
+	sol, err := rs.SolveRect(context.Background(), 4, core.DCSA)
 	if err != nil {
 		panic(err)
 	}

@@ -1,17 +1,26 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+
+	"explink/internal/runctl"
 )
 
 // forEachIndex runs fn(i) for every i in [0, n) on a bounded worker pool, in
 // the style of sim.RunMany. Results must be written to index-addressed slots
 // by fn, so the output is bit-identical for any worker count; all errors are
 // collected in index order and aggregated with errors.Join (nil when every
-// call succeeds). workers <= 0 uses GOMAXPROCS.
-func forEachIndex(n, workers int, fn func(i int) error) error {
+// call succeeds). Cancelling ctx stops dispatching; every index not yet
+// started fails with an error matching runctl.ErrCancelled. workers <= 0
+// uses GOMAXPROCS.
+func forEachIndex(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -22,8 +31,15 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	notStarted := func(i int) error {
+		return fmt.Errorf("core: sub-problem %d not started: %w", i, runctl.Cancelled(ctx))
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				errs[i] = notStarted(i)
+				continue
+			}
 			errs[i] = fn(i)
 		}
 		return errors.Join(errs...)
@@ -39,8 +55,16 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = notStarted(j)
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestForEachIndexAggregatesErrors(t *testing.T) {
-	err := forEachIndex(5, 3, func(i int) error {
+	err := forEachIndex(context.Background(), 5, 3, func(i int) error {
 		if i%2 == 1 {
 			return fmt.Errorf("boom %d", i)
 		}
@@ -23,10 +24,10 @@ func TestForEachIndexAggregatesErrors(t *testing.T) {
 			t.Fatalf("aggregated error %q missing %q", err, want)
 		}
 	}
-	if err := forEachIndex(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
+	if err := forEachIndex(context.Background(), 0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
 		t.Fatalf("empty index space returned %v", err)
 	}
-	if err := forEachIndex(3, 1, func(int) error { return nil }); err != nil {
+	if err := forEachIndex(context.Background(), 3, 1, func(int) error { return nil }); err != nil {
 		t.Fatalf("sequential path returned %v", err)
 	}
 }
@@ -43,11 +44,11 @@ func TestOptimizeParallelBitIdentical(t *testing.T) {
 		par.Workers = 8
 		par.Sched = par.Sched.WithMoves(2000)
 
-		seqBest, seqAll, err := seq.Optimize(algo)
+		seqBest, seqAll, err := seq.Optimize(context.Background(), algo)
 		if err != nil {
 			t.Fatal(err)
 		}
-		parBest, parAll, err := par.Optimize(algo)
+		parBest, parAll, err := par.Optimize(context.Background(), algo)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,11 +84,11 @@ func TestSolveWeightedParallelBitIdentical(t *testing.T) {
 		s.Workers = workers
 		return s
 	}
-	seq, err := mk(1).SolveWeighted(4, w, DCSA)
+	seq, err := mk(1).SolveWeighted(context.Background(), 4, w, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := mk(8).SolveWeighted(4, w, DCSA)
+	par, err := mk(8).SolveWeighted(context.Background(), 4, w, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestSolveWeightedOnlySAUsesRandomizedStart(t *testing.T) {
 	}
 	s := NewSolver(model.DefaultConfig(n))
 	s.Sched = s.Sched.WithMoves(20)
-	sol, err := s.SolveWeighted(4, w, OnlySA)
+	sol, err := s.SolveWeighted(context.Background(), 4, w, OnlySA)
 	if err != nil {
 		t.Fatal(err)
 	}

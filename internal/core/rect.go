@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"explink/internal/dnc"
@@ -38,21 +39,22 @@ func NewRectSolver(w, h int) *RectSolver {
 	return &RectSolver{W: w, H: h, Base: NewSolver(model.DefaultConfig(maxInt(w, h)))}
 }
 
-// SolveRect solves both dimensions at link limit c.
-func (rs *RectSolver) SolveRect(c int, algo Algorithm) (RectSolution, error) {
+// SolveRect solves both dimensions at link limit c. Cancellation follows
+// SolveRow: a cut-short line fails with runctl.ErrCancelled.
+func (rs *RectSolver) SolveRect(ctx context.Context, c int, algo Algorithm) (RectSolution, error) {
 	if rs.W < 2 || rs.H < 2 {
 		return RectSolution{}, fmt.Errorf("core: rectangular network needs both sides >= 2, got %dx%d", rs.W, rs.H)
 	}
 	if _, err := rs.Base.Cfg.BW.Width(c); err != nil {
 		return RectSolution{}, err
 	}
-	row, evalsRow, err := rs.solveLine(rs.W, c, algo, 0)
+	row, evalsRow, err := rs.solveLine(ctx, rs.W, c, algo, 0)
 	if err != nil {
 		return RectSolution{}, fmt.Errorf("core: rows: %w", err)
 	}
 	col, evalsCol := row, evalsRow
 	if rs.H != rs.W {
-		col, evalsCol, err = rs.solveLine(rs.H, c, algo, 1)
+		col, evalsCol, err = rs.solveLine(ctx, rs.H, c, algo, 1)
 		if err != nil {
 			return RectSolution{}, fmt.Errorf("core: cols: %w", err)
 		}
@@ -67,13 +69,13 @@ func (rs *RectSolver) SolveRect(c int, algo Algorithm) (RectSolution, error) {
 }
 
 // solveLine optimizes one dimension of the rectangle.
-func (rs *RectSolver) solveLine(n, c int, algo Algorithm, salt uint64) (topo.Row, int64, error) {
+func (rs *RectSolver) solveLine(ctx context.Context, n, c int, algo Algorithm, salt uint64) (topo.Row, int64, error) {
 	s := *rs.Base // shallow copy so the per-line config tweak stays local
 	s.Cfg.N = n
 	s.Seed = rs.Base.Seed + salt // distinct but deterministic per dimension
 	switch algo {
 	case DCSA, OnlySA:
-		sol, err := s.SolveRow(c, algo)
+		sol, err := s.SolveRow(ctx, c, algo)
 		if err != nil {
 			return topo.Row{}, 0, err
 		}
@@ -88,7 +90,7 @@ func (rs *RectSolver) solveLine(n, c int, algo Algorithm, salt uint64) (topo.Row
 
 // OptimizeRect sweeps every feasible link limit and returns the best design
 // plus all per-C solutions.
-func (rs *RectSolver) OptimizeRect(algo Algorithm) (RectSolution, []RectSolution, error) {
+func (rs *RectSolver) OptimizeRect(ctx context.Context, algo Algorithm) (RectSolution, []RectSolution, error) {
 	// The binding cross-section is on the longer dimension; sweep its limits.
 	limits := rs.Base.Cfg.BW.FeasibleLimits(topo.LinkLimits(maxInt(rs.W, rs.H)))
 	if len(limits) == 0 {
@@ -97,7 +99,7 @@ func (rs *RectSolver) OptimizeRect(algo Algorithm) (RectSolution, []RectSolution
 	var all []RectSolution
 	var best RectSolution
 	for i, c := range limits {
-		sol, err := rs.SolveRect(c, algo)
+		sol, err := rs.SolveRect(ctx, c, algo)
 		if err != nil {
 			return RectSolution{}, nil, err
 		}

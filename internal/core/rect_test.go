@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 
 func TestSolveRectBasic(t *testing.T) {
 	rs := NewRectSolver(8, 4)
-	sol, err := rs.SolveRect(4, DCSA)
+	sol, err := rs.SolveRect(context.Background(), 4, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestSolveRectBasic(t *testing.T) {
 
 func TestSolveRectBeatsRectMesh(t *testing.T) {
 	rs := NewRectSolver(8, 4)
-	best, all, err := rs.OptimizeRect(DCSA)
+	best, all, err := rs.OptimizeRect(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,12 +54,12 @@ func TestSolveRectBeatsRectMesh(t *testing.T) {
 
 func TestSolveRectSquareMatchesSquareSolver(t *testing.T) {
 	rs := NewRectSolver(8, 8)
-	rectSol, err := rs.SolveRect(4, DCSA)
+	rectSol, err := rs.SolveRect(context.Background(), 4, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sq := NewSolver(model.DefaultConfig(8))
-	sqSol, err := sq.SolveRow(4, DCSA)
+	sqSol, err := sq.SolveRow(context.Background(), 4, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSolveRectSquareMatchesSquareSolver(t *testing.T) {
 
 func TestSolveRectDeadlockFree(t *testing.T) {
 	rs := NewRectSolver(8, 4)
-	sol, err := rs.SolveRect(4, DCSA)
+	sol, err := rs.SolveRect(context.Background(), 4, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,20 +88,20 @@ func TestSolveRectDeadlockFree(t *testing.T) {
 }
 
 func TestSolveRectErrors(t *testing.T) {
-	if _, err := NewRectSolver(1, 8).SolveRect(2, DCSA); err == nil {
+	if _, err := NewRectSolver(1, 8).SolveRect(context.Background(), 2, DCSA); err == nil {
 		t.Fatal("degenerate width accepted")
 	}
-	if _, err := NewRectSolver(8, 4).SolveRect(1024, DCSA); err == nil {
+	if _, err := NewRectSolver(8, 4).SolveRect(context.Background(), 1024, DCSA); err == nil {
 		t.Fatal("bad limit accepted")
 	}
-	if _, err := NewRectSolver(8, 4).SolveRect(2, Algorithm("nope")); err == nil {
+	if _, err := NewRectSolver(8, 4).SolveRect(context.Background(), 2, Algorithm("nope")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestSolveRectInitOnly(t *testing.T) {
 	rs := NewRectSolver(8, 4)
-	sol, err := rs.SolveRect(2, InitOnly)
+	sol, err := rs.SolveRect(context.Background(), 2, InitOnly)
 	if err != nil {
 		t.Fatal(err)
 	}

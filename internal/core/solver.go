@@ -11,12 +11,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"explink/internal/anneal"
 	"explink/internal/dnc"
 	"explink/internal/model"
 	"explink/internal/route"
+	"explink/internal/runctl"
 	"explink/internal/stats"
 	"explink/internal/topo"
 )
@@ -106,8 +108,13 @@ func (s *Solver) rngFor(c int, algo Algorithm, salt uint64) *stats.RNG {
 func (s *Solver) rng(c int, algo Algorithm) *stats.RNG { return s.rngFor(c, algo, 0) }
 
 // SolveRow solves P̃(n, C) with the chosen algorithm and scores the resulting
-// placement on the full network.
-func (s *Solver) SolveRow(c int, algo Algorithm) (RowSolution, error) {
+// placement on the full network. Cancelling ctx cuts the annealing short and
+// fails the solve with an error matching runctl.ErrCancelled — a truncated
+// search result would silently misrank the link limits in Optimize.
+func (s *Solver) SolveRow(ctx context.Context, c int, algo Algorithm) (RowSolution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Cfg.Validate(); err != nil {
 		return RowSolution{}, err
 	}
@@ -132,7 +139,7 @@ func (s *Solver) SolveRow(c int, algo Algorithm) (RowSolution, error) {
 			// The annealer tracks best-so-far starting from the initial
 			// state, so its result is never worse than the D&C placement
 			// under the active objective.
-			res := anneal.Minimize(m, obj, s.Sched, s.rng(c, algo), false)
+			res := anneal.Minimize(ctx, m, obj, s.Sched, s.rng(c, algo), false)
 			evals += res.Evals
 			row = res.Row
 		}
@@ -140,11 +147,15 @@ func (s *Solver) SolveRow(c int, algo Algorithm) (RowSolution, error) {
 		m := topo.NewConnMatrix(n, c)
 		rng := s.rng(c, algo)
 		m.Randomize(func() bool { return rng.Bool(0.5) })
-		res := anneal.Minimize(m, obj, s.Sched, rng, false)
+		res := anneal.Minimize(ctx, m, obj, s.Sched, rng, false)
 		evals = res.Evals
 		row = res.Row
 	default:
 		return RowSolution{}, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	if ctx.Err() != nil {
+		return RowSolution{}, fmt.Errorf("core: C=%d solve interrupted after %d evals: %w",
+			c, evals, runctl.Cancelled(ctx))
 	}
 
 	row = row.Dedupe() // duplicate spans add ports, never shorten paths
@@ -159,15 +170,16 @@ func (s *Solver) SolveRow(c int, algo Algorithm) (RowSolution, error) {
 // best solution along with all per-C solutions (the D&C_SA curve of Fig. 5).
 // The per-C sub-problems are independent and run on a worker pool bounded by
 // s.Workers; output is bit-identical to a sequential sweep. On failure all
-// per-C errors are aggregated into the returned error.
-func (s *Solver) Optimize(algo Algorithm) (RowSolution, []RowSolution, error) {
+// per-C errors are aggregated into the returned error; cancellation of ctx
+// fails every unfinished sub-problem with runctl.ErrCancelled.
+func (s *Solver) Optimize(ctx context.Context, algo Algorithm) (RowSolution, []RowSolution, error) {
 	limits := s.Cfg.BW.FeasibleLimits(topo.LinkLimits(s.Cfg.N))
 	if len(limits) == 0 {
 		return RowSolution{}, nil, fmt.Errorf("core: no feasible link limits for n=%d", s.Cfg.N)
 	}
 	all := make([]RowSolution, len(limits))
-	err := forEachIndex(len(limits), s.Workers, func(i int) error {
-		sol, err := s.SolveRow(limits[i], algo)
+	err := forEachIndex(ctx, len(limits), s.Workers, func(i int) error {
+		sol, err := s.SolveRow(ctx, limits[i], algo)
 		if err != nil {
 			return fmt.Errorf("core: C=%d: %w", limits[i], err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func solver8() *Solver {
 
 func TestSolveRowDCSA(t *testing.T) {
 	s := solver8()
-	sol, err := s.SolveRow(4, DCSA)
+	sol, err := s.SolveRow(context.Background(), 4, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestSolveRowDCSA(t *testing.T) {
 func TestSolveRowAlgorithms(t *testing.T) {
 	s := solver8()
 	for _, algo := range []Algorithm{DCSA, OnlySA, InitOnly} {
-		sol, err := s.SolveRow(4, algo)
+		sol, err := s.SolveRow(context.Background(), 4, algo)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -49,17 +50,17 @@ func TestSolveRowAlgorithms(t *testing.T) {
 
 func TestSolveRowErrors(t *testing.T) {
 	s := solver8()
-	if _, err := s.SolveRow(4, Algorithm("nope")); err == nil {
+	if _, err := s.SolveRow(context.Background(), 4, Algorithm("nope")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, err := s.SolveRow(1024, DCSA); err == nil {
+	if _, err := s.SolveRow(context.Background(), 1024, DCSA); err == nil {
 		t.Fatal("infeasible link limit accepted")
 	}
 }
 
 func TestOptimizeDCSA8(t *testing.T) {
 	s := solver8()
-	best, all, err := s.Optimize(DCSA)
+	best, all, err := s.Optimize(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestOptimizeDCSA8(t *testing.T) {
 
 func TestOptimizeBeatsHFB8(t *testing.T) {
 	s := solver8()
-	best, _, err := s.Optimize(DCSA)
+	best, _, err := s.Optimize(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestOptimizeBeatsHFB8(t *testing.T) {
 func TestDCSANotWorseThanInitOnly(t *testing.T) {
 	s := solver8()
 	for _, c := range []int{2, 4, 8} {
-		init, err := s.SolveRow(c, InitOnly)
+		init, err := s.SolveRow(context.Background(), c, InitOnly)
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := s.SolveRow(c, DCSA)
+		full, err := s.SolveRow(context.Background(), c, DCSA)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,11 +120,11 @@ func TestDCSANotWorseThanInitOnly(t *testing.T) {
 }
 
 func TestSolverDeterministic(t *testing.T) {
-	a, _, err := solver8().Optimize(DCSA)
+	a, _, err := solver8().Optimize(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := solver8().Optimize(DCSA)
+	b, _, err := solver8().Optimize(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,11 @@ func TestSeedChangesOnlySAOutcome(t *testing.T) {
 	s1 := solver8()
 	s2 := solver8()
 	s2.Seed = 99
-	a, err := s1.SolveRow(8, OnlySA)
+	a, err := s1.SolveRow(context.Background(), 8, OnlySA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s2.SolveRow(8, OnlySA)
+	b, err := s2.SolveRow(context.Background(), 8, OnlySA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestSeedChangesOnlySAOutcome(t *testing.T) {
 
 func TestTopologyExpansion(t *testing.T) {
 	s := solver8()
-	sol, err := s.SolveRow(4, DCSA)
+	sol, err := s.SolveRow(context.Background(), 4, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestTopologyExpansion(t *testing.T) {
 
 func TestOptimize4x4(t *testing.T) {
 	s := NewSolver(model.DefaultConfig(4))
-	best, all, err := s.Optimize(DCSA)
+	best, all, err := s.Optimize(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestOptimize16x16Quick(t *testing.T) {
 	}
 	s := NewSolver(model.DefaultConfig(16))
 	s.Sched = s.Sched.WithMoves(2000)
-	best, all, err := s.Optimize(DCSA)
+	best, all, err := s.Optimize(context.Background(), DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +226,11 @@ func TestWorstWeightReducesWorstCase(t *testing.T) {
 	tailSolver := solver8()
 	tailSolver.WorstWeight = 1
 	const c = 4
-	avgSol, err := avgSolver.SolveRow(c, DCSA)
+	avgSol, err := avgSolver.SolveRow(context.Background(), c, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tailSol, err := tailSolver.SolveRow(c, DCSA)
+	tailSol, err := tailSolver.SolveRow(context.Background(), c, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,11 +254,11 @@ func TestWorstWeightReducesWorstCase(t *testing.T) {
 func TestWorstWeightClamped(t *testing.T) {
 	s := solver8()
 	s.WorstWeight = 7 // clamped to 1 internally
-	if _, err := s.SolveRow(2, DCSA); err != nil {
+	if _, err := s.SolveRow(context.Background(), 2, DCSA); err != nil {
 		t.Fatal(err)
 	}
 	s.WorstWeight = -3 // clamped to 0
-	if _, err := s.SolveRow(2, DCSA); err != nil {
+	if _, err := s.SolveRow(context.Background(), 2, DCSA); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"explink/internal/anneal"
 	"explink/internal/dnc"
 	"explink/internal/model"
+	"explink/internal/runctl"
 	"explink/internal/topo"
 )
 
@@ -84,8 +86,12 @@ type WeightedSolution struct {
 // solution. The 2n line problems are independent (each has its own rngFor
 // salt) and run on a worker pool bounded by s.Workers, so the result is
 // bit-identical for any worker count; on failure all per-line errors are
-// aggregated into the returned error.
-func (s *Solver) SolveWeighted(c int, w TrafficWeights, algo Algorithm) (WeightedSolution, error) {
+// aggregated into the returned error. Cancelling ctx fails every unfinished
+// line with runctl.ErrCancelled.
+func (s *Solver) SolveWeighted(ctx context.Context, c int, w TrafficWeights, algo Algorithm) (WeightedSolution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := s.Cfg.N
 	if w.N != n {
 		return WeightedSolution{}, fmt.Errorf("core: weights for n=%d on solver n=%d", w.N, n)
@@ -99,9 +105,9 @@ func (s *Solver) SolveWeighted(c int, w TrafficWeights, algo Algorithm) (Weighte
 		RowEvals: make([]int64, n),
 		ColEvals: make([]int64, n),
 	}
-	err := forEachIndex(2*n, s.Workers, func(i int) error {
+	err := forEachIndex(ctx, 2*n, s.Workers, func(i int) error {
 		if i < n {
-			row, evals, err := s.solveLine(c, algo, w.RowW[i], int64(i))
+			row, evals, err := s.solveLine(ctx, c, algo, w.RowW[i], int64(i))
 			if err != nil {
 				return fmt.Errorf("core: row %d: %w", i, err)
 			}
@@ -109,7 +115,7 @@ func (s *Solver) SolveWeighted(c int, w TrafficWeights, algo Algorithm) (Weighte
 			return nil
 		}
 		x := i - n
-		col, evals, err := s.solveLine(c, algo, w.ColW[x], int64(n+x))
+		col, evals, err := s.solveLine(ctx, c, algo, w.ColW[x], int64(n+x))
 		if err != nil {
 			return fmt.Errorf("core: col %d: %w", x, err)
 		}
@@ -131,7 +137,7 @@ func (s *Solver) SolveWeighted(c int, w TrafficWeights, algo Algorithm) (Weighte
 // weighted objective, exactly as Section 5.6.4 notes that "the proposed
 // divide-and-conquer method ... and the cleverly-designed connection matrix
 // ... are still applicable".
-func (s *Solver) solveLine(c int, algo Algorithm, w [][]float64, salt int64) (topo.Row, int64, error) {
+func (s *Solver) solveLine(ctx context.Context, c int, algo Algorithm, w [][]float64, salt int64) (topo.Row, int64, error) {
 	n := s.Cfg.N
 	obj := model.WeightedRowObjective(s.Cfg.Params, w)
 
@@ -165,8 +171,11 @@ func (s *Solver) solveLine(c int, algo Algorithm, w [][]float64, salt int64) (to
 	start := m.Row()
 	startObj := obj(start)
 	evals++
-	res := anneal.Minimize(m, obj, s.Sched, rng, false)
+	res := anneal.Minimize(ctx, m, obj, s.Sched, rng, false)
 	evals += res.Evals
+	if ctx.Err() != nil {
+		return topo.Row{}, evals, runctl.Cancelled(ctx)
+	}
 	if startObj < res.Obj {
 		return start, evals, nil
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestSolveWeightedImprovesOnGeneric(t *testing.T) {
 	}
 	const c = 4
 
-	generic, err := s.SolveRow(c, DCSA)
+	generic, err := s.SolveRow(context.Background(), c, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSolveWeightedImprovesOnGeneric(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	app, err := s.SolveWeighted(c, w, DCSA)
+	app, err := s.SolveWeighted(context.Background(), c, w, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSolveWeightedValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := s.SolveWeighted(4, w, DCSA)
+	sol, err := s.SolveWeighted(context.Background(), 4, w, DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +144,14 @@ func TestSolveWeightedValid(t *testing.T) {
 func TestSolveWeightedErrors(t *testing.T) {
 	s := solver8()
 	w := TrafficWeights{N: 4}
-	if _, err := s.SolveWeighted(4, w, DCSA); err == nil {
+	if _, err := s.SolveWeighted(context.Background(), 4, w, DCSA); err == nil {
 		t.Fatal("size mismatch accepted")
 	}
 	w8, _ := WeightsFromMatrix(8, skewedTraffic(8))
-	if _, err := s.SolveWeighted(1024, w8, DCSA); err == nil {
+	if _, err := s.SolveWeighted(context.Background(), 1024, w8, DCSA); err == nil {
 		t.Fatal("bad link limit accepted")
 	}
-	if _, err := s.SolveWeighted(4, w8, Algorithm("nope")); err == nil {
+	if _, err := s.SolveWeighted(context.Background(), 4, w8, Algorithm("nope")); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }

@@ -51,7 +51,7 @@ func AblationGenerator(o Options) (GeneratorResult, error) {
 		sch := anneal.DefaultSchedule().WithMoves(moves)
 
 		m := topo.NewConnMatrix(n, c)
-		mres := anneal.Minimize(m, obj, sch, stats.NewRNG(stats.MixSeed(o.Seed, 1, uint64(moves))), false)
+		mres := anneal.Minimize(o.ctx(), m, obj, sch, stats.NewRNG(stats.MixSeed(o.Seed, 1, uint64(moves))), false)
 
 		nres := anneal.MinimizeNaive(topo.MeshRow(n), c, obj, sch,
 			stats.NewRNG(stats.MixSeed(o.Seed, 2, uint64(moves))))

@@ -49,7 +49,7 @@ func AblationRouting(o Options) (RoutingResult, error) {
 				if err != nil {
 					return 0, err
 				}
-				res, err := s.Run()
+				res, err := s.Run(o.ctx())
 				if err != nil {
 					return 0, err
 				}
@@ -136,7 +136,7 @@ func AblationBypass(o Options) (BypassResult, error) {
 			if err != nil {
 				return out, err
 			}
-			res, err := s.Run()
+			res, err := s.Run(o.ctx())
 			if err != nil {
 				return out, err
 			}

@@ -36,7 +36,7 @@ type AppSpecResult struct {
 func AppSpec(o Options) (AppSpecResult, error) {
 	const n = 8
 	s := o.solverFor(n)
-	best, _, err := s.Optimize(core.DCSA)
+	best, _, err := s.Optimize(o.ctx(), core.DCSA)
 	if err != nil {
 		return AppSpecResult{}, err
 	}
@@ -69,7 +69,7 @@ func AppSpec(o Options) (AppSpecResult, error) {
 		var appEval model.Eval
 		var evals int64
 		for i, c := range limits {
-			sol, err := s.SolveWeighted(c, w, core.DCSA)
+			sol, err := s.SolveWeighted(o.ctx(), c, w, core.DCSA)
 			if err != nil {
 				return out, err
 			}

@@ -43,7 +43,7 @@ func Bottleneck(o Options) (BottleneckResult, error) {
 		if err != nil {
 			return out, err
 		}
-		res, err := s.Run()
+		res, err := s.Run(o.ctx())
 		if err != nil {
 			return out, err
 		}

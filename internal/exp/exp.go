@@ -19,6 +19,8 @@
 package exp
 
 import (
+	"context"
+
 	"explink/internal/anneal"
 	"explink/internal/core"
 	"explink/internal/model"
@@ -31,6 +33,13 @@ import (
 type Options struct {
 	Quick bool
 	Seed  uint64
+	// Ctx bounds every solver and simulation run the experiment issues; nil
+	// means context.Background(). Cancellation surfaces as an error matching
+	// runctl.ErrCancelled from whichever driver was interrupted.
+	Ctx context.Context
+	// Audit runs every simulation with the per-cycle invariant auditor
+	// enabled (sim.Config.Audit); results are bit-identical, just slower.
+	Audit bool
 }
 
 // DefaultOptions runs experiments at full fidelity.
@@ -38,6 +47,14 @@ func DefaultOptions() Options { return Options{Seed: 1} }
 
 // QuickOptions runs reduced-size experiments for tests.
 func QuickOptions() Options { return Options{Quick: true, Seed: 1} }
+
+// ctx returns the run context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
 
 // solverFor builds a solver for an n x n network with the experiment's SA
 // budget.

@@ -58,7 +58,7 @@ func Fig11(o Options) (Fig11Result, error) {
 		if err != nil {
 			return out, err
 		}
-		best, all, err := s.Optimize(core.DCSA)
+		best, all, err := s.Optimize(o.ctx(), core.DCSA)
 		if err != nil {
 			return out, err
 		}

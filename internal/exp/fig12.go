@@ -40,7 +40,7 @@ func Fig12(o Options) (Fig12Result, error) {
 		// paper does not charge it the full fixed move budget): stop the
 		// annealer after a quiet stretch.
 		s.Sched.StopAfterNoImprove = 1000
-		sol, err := s.SolveRow(in.c, core.DCSA)
+		sol, err := s.SolveRow(o.ctx(), in.c, core.DCSA)
 		if err != nil {
 			return out, err
 		}

@@ -59,11 +59,11 @@ func Fig5(o Options) (Fig5Result, error) {
 		}
 		size := Fig5Size{N: n, Mesh: meshEval.Total, HFB: hfb.Total, HFBC: hfb.C}
 
-		_, dcsaAll, err := s.Optimize(core.DCSA)
+		_, dcsaAll, err := s.Optimize(o.ctx(), core.DCSA)
 		if err != nil {
 			return out, err
 		}
-		_, onlyAll, err := s.Optimize(core.OnlySA)
+		_, onlyAll, err := s.Optimize(o.ctx(), core.OnlySA)
 		if err != nil {
 			return out, err
 		}

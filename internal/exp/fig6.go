@@ -22,7 +22,7 @@ type Scheme struct {
 // Mesh, HFB, and the best D&C_SA placement.
 func (o Options) schemes(n int) ([]Scheme, error) {
 	s := o.solverFor(n)
-	best, _, err := s.Optimize(core.DCSA)
+	best, _, err := s.Optimize(o.ctx(), core.DCSA)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +42,8 @@ func (o Options) schemes(n int) ([]Scheme, error) {
 	}, nil
 }
 
-// simPhases applies quick-mode cycle budgets.
+// simPhases applies quick-mode cycle budgets and the option-level simulation
+// switches.
 func (o Options) simPhases(cfg *sim.Config) {
 	if o.Quick {
 		cfg.Warmup, cfg.Measure, cfg.Drain = 500, 2000, 10000
@@ -50,6 +51,7 @@ func (o Options) simPhases(cfg *sim.Config) {
 		cfg.Warmup, cfg.Measure, cfg.Drain = 2000, 10000, 40000
 	}
 	cfg.Seed = o.Seed
+	cfg.Audit = o.Audit
 }
 
 // Fig6Cell is one benchmark x scheme measurement.
@@ -91,7 +93,7 @@ func Fig6(o Options) (Fig6Result, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := sim.RunMany(cfgs, 0)
+	results, err := sim.RunMany(o.ctx(), cfgs, 0)
 	if err != nil {
 		return out, fmt.Errorf("fig6: %w", err)
 	}

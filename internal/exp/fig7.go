@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,11 +57,11 @@ func Fig7(o Options) (Fig7Result, error) {
 		curve := Fig7Curve{N: n, C: c, InitEvals: init.Evals}
 		for _, budget := range budgets {
 			evalBudget := int64(budget * float64(init.Evals))
-			d, err := bestWithinBudget(s.Cfg, c, init, evalBudget, o.Seed, true)
+			d, err := bestWithinBudget(o.ctx(), s.Cfg, c, init, evalBudget, o.Seed, true)
 			if err != nil {
 				return out, err
 			}
-			g, err := bestWithinBudget(s.Cfg, c, init, evalBudget, o.Seed, false)
+			g, err := bestWithinBudget(o.ctx(), s.Cfg, c, init, evalBudget, o.Seed, false)
 			if err != nil {
 				return out, err
 			}
@@ -75,7 +76,7 @@ func Fig7(o Options) (Fig7Result, error) {
 // returns the best full-network latency found. For D&C_SA the budget first
 // pays for the initial solution; remaining evaluations fund annealing
 // restarts. OnlySA spends everything on annealing from random states.
-func bestWithinBudget(cfg model.Config, c int, init dnc.Result, budget int64, seed uint64, dcsa bool) (float64, error) {
+func bestWithinBudget(ctx context.Context, cfg model.Config, c int, init dnc.Result, budget int64, seed uint64, dcsa bool) (float64, error) {
 	width, err := cfg.BW.Width(c)
 	if err != nil {
 		return 0, err
@@ -129,7 +130,7 @@ func bestWithinBudget(cfg model.Config, c int, init dnc.Result, budget int64, se
 			m = topo.NewConnMatrix(cfg.N, c)
 			m.Randomize(func() bool { return rng.Bool(0.5) })
 		}
-		res := anneal.Minimize(m, obj, sched.WithMoves(moves), rng, false)
+		res := anneal.Minimize(ctx, m, obj, sched.WithMoves(moves), rng, false)
 		spent += res.Evals
 		consider(res.Obj)
 		restart++

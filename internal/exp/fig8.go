@@ -83,12 +83,12 @@ func Fig8(o Options) (Fig8Result, error) {
 				errs[ji] = err
 				return
 			}
-			res, err := s.Run()
+			res, err := s.Run(o.ctx())
 			if err != nil {
 				errs[ji] = err
 				return
 			}
-			sweep, err := sim.FindSaturation(cfg, satOpts)
+			sweep, err := sim.FindSaturation(o.ctx(), cfg, satOpts)
 			if err != nil {
 				errs[ji] = fmt.Errorf("fig8 %s/%s saturation: %w", pat.Name(), sch.Name, err)
 				return

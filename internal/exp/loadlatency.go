@@ -54,7 +54,7 @@ func LoadLatency(o Options) (LoadLatencyResult, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := sim.RunMany(cfgs, 0)
+	results, err := sim.RunMany(o.ctx(), cfgs, 0)
 	if err != nil {
 		return out, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -59,14 +60,16 @@ func Microarch(o Options) (MicroarchResult, error) {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			return s.Run()
+			return s.Run(o.ctx())
 		}
 		lres, err := mk(out.LightRate)
 		if err != nil {
 			return 0, 0, false, err
 		}
 		hres, err := mk(out.LoadRate)
-		if err != nil {
+		if err != nil && !errors.Is(err, sim.ErrDeadlock) {
+			// A deadlock at the loaded probe is itself a data point (the run
+			// simply reports Drained=false); any other failure aborts.
 			return 0, 0, false, err
 		}
 		return lres.AvgPacketLatency, hres.AvgPacketLatency, hres.Drained, nil

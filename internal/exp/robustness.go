@@ -36,7 +36,7 @@ type RobustnessResult struct {
 func Robustness(o Options) (RobustnessResult, error) {
 	const n = 8
 	s := o.solverFor(n)
-	best, _, err := s.Optimize(core.DCSA)
+	best, _, err := s.Optimize(o.ctx(), core.DCSA)
 	if err != nil {
 		return RobustnessResult{}, err
 	}

@@ -50,7 +50,7 @@ func Table2(o Options) (Table2Result, error) {
 		// Table 2 reports the worst case, so pick the per-C D&C_SA design
 		// that minimizes it (the average-optimal design can have a longer
 		// worst pair, especially on small networks).
-		_, all, err := s.Optimize(core.DCSA)
+		_, all, err := s.Optimize(o.ctx(), core.DCSA)
 		if err != nil {
 			return out, err
 		}

@@ -1,6 +1,7 @@
 package power
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func runFor(t *testing.T, tp topo.Topology, c int, rate float64) Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestExpressReducesDynamicPower(t *testing.T) {
 	// (Section 4.6). Compare an optimized placement against the mesh at the
 	// same offered load.
 	solver := core.NewSolver(model.DefaultConfig(8))
-	sol, err := solver.SolveRow(4, core.DCSA)
+	sol, err := solver.SolveRow(context.Background(), 4, core.DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestEnergyMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestExpressImprovesEDP(t *testing.T) {
 	// The optimized design should win on energy-delay product: lower latency
 	// and lower dynamic power at similar static power.
 	solver := core.NewSolver(model.DefaultConfig(8))
-	sol, err := solver.SolveRow(4, core.DCSA)
+	sol, err := solver.SolveRow(context.Background(), 4, core.DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestExpressImprovesEDP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

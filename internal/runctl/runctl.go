@@ -1,0 +1,50 @@
+// Package runctl defines the run-control error taxonomy shared by the
+// simulator (internal/sim) and the placement optimizer (internal/core,
+// internal/anneal). Long-running entry points across those packages accept a
+// context.Context; when they stop early they return errors that wrap exactly
+// one of the sentinels below, so callers can classify outcomes with errors.Is
+// without depending on message text.
+//
+// The taxonomy lives in its own leaf package because both internal/sim and
+// internal/core need the same sentinels, and sim's internal tests import core
+// (so core cannot import sim without a test-binary import cycle). internal/sim
+// re-exports the sentinels under the same names for callers that already
+// import it.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCancelled marks a run stopped by its context (cancellation or
+	// deadline) before reaching a natural end. Results returned alongside it
+	// are partial but internally consistent.
+	ErrCancelled = errors.New("run cancelled")
+
+	// ErrDeadlock marks a run aborted on deadlock suspicion: traffic was in
+	// flight but no flit moved for the configured progress timeout.
+	ErrDeadlock = errors.New("deadlock suspected")
+
+	// ErrUnstable marks a network that cannot sustain even the probe load of
+	// a saturation search (it failed to drain at the lowest offered rate).
+	ErrUnstable = errors.New("network unstable")
+
+	// ErrAudit marks a run failed fast by the invariant auditor: a
+	// conservation law or routing rule the engine must uphold was violated.
+	ErrAudit = errors.New("invariant violated")
+
+	// ErrConfig marks a configuration rejected by validation before any
+	// simulation or optimization work started.
+	ErrConfig = errors.New("invalid configuration")
+)
+
+// Cancelled builds the canonical cancellation error for a context that is
+// done: it wraps both ErrCancelled and the context's cause, so callers can
+// match either errors.Is(err, ErrCancelled) or
+// errors.Is(err, context.DeadlineExceeded).
+func Cancelled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+}

@@ -1,0 +1,301 @@
+package sim
+
+// This file implements the opt-in per-cycle invariant auditor (Config.Audit)
+// and the deadlock diagnostic dump. The auditor re-derives, from first
+// principles, the conservation laws the credit-based wormhole engine must
+// uphold every cycle, and fails the run fast on the first violation:
+//
+//   - flit conservation: every flit ever generated is in a source queue, in
+//     flight inside the network, or ejected — nothing is created or lost;
+//   - credit conservation: for every channel (router-to-router and the NI
+//     injection link), free credits plus occupied downstream slots plus
+//     in-flight flits and in-flight credit returns equal the buffer depth;
+//   - active-set consistency: the occupancy bitmasks and work lists of the
+//     event-driven engine (see DESIGN.md §5) agree with the actual buffer
+//     state, so no component with work pending can be skipped;
+//   - route monotonicity: every hop moves a head flit strictly closer to its
+//     destination along the dimension order in force (X before Y under DOR,
+//     reversed for O1TURN's YX class), which excludes U-turns by construction.
+//
+// With Audit unset none of this code runs: the auditor pointer is nil, the
+// single nil check in grantSwitch is the only cost, and results are
+// bit-identical to an unaudited run (the auditor only reads engine state).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// auditVCCap bounds the per-VC scratch used to bucket in-flight queue entries
+// by VC; normalize enforces VCs <= 64.
+const auditVCCap = 64
+
+type auditor struct {
+	s *Simulator
+	// err latches the first violation observed by the grant-time route check;
+	// check reports it ahead of the conservation sweeps.
+	err error
+	// perVC is scratch for bucketing channel/credit queue entries by VC.
+	perVC [auditVCCap]int
+}
+
+func newAuditor(s *Simulator) *auditor { return &auditor{s: s} }
+
+func (a *auditor) fail(now int64, invariant, format string, args ...any) error {
+	return &AuditError{Cycle: now, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+}
+
+// check runs every invariant sweep for the cycle that just completed. It is
+// called from Run after step, before the cycle counter advances.
+func (a *auditor) check(now int64) error {
+	if a.err != nil {
+		return a.err
+	}
+	if err := a.checkFlitConservation(now); err != nil {
+		return err
+	}
+	if err := a.checkCreditConservation(now); err != nil {
+		return err
+	}
+	return a.checkActiveSets(now)
+}
+
+// checkFlitConservation verifies injected = queued-at-source + in-flight +
+// ejected, using the engine's own counters against a recount of the source
+// queues.
+func (a *auditor) checkFlitConservation(now int64) error {
+	s := a.s
+	var queued int64
+	for _, ni := range s.nis {
+		queued += int64(ni.srcQ.len())
+	}
+	if got := queued + s.inFlightFlits + s.counts.FlitsEjected; got != s.counts.FlitsInjected {
+		return a.fail(now, "flit-conservation",
+			"injected=%d but source-queued=%d + in-flight=%d + ejected=%d = %d",
+			s.counts.FlitsInjected, queued, s.inFlightFlits, s.counts.FlitsEjected, got)
+	}
+	return nil
+}
+
+// checkCreditConservation verifies, for every channel and every VC, that
+// free upstream credits + occupied downstream buffer slots + flits still on
+// the wire + credit returns still in flight add up to the downstream buffer
+// depth. It covers both router-to-router channels and the NI injection link.
+func (a *auditor) checkCreditConservation(now int64) error {
+	s := a.s
+	vcs := s.cfg.VCs
+	for _, r := range s.routers {
+		for oi := range r.out {
+			op := &r.out[oi]
+			if op.isEject {
+				continue // the ejection sink never backpressures
+			}
+			dstIn := &op.ch.dst.in[op.ch.dstPort]
+			onWire := a.perVC[:vcs]
+			for i := range onWire {
+				onWire[i] = 0
+			}
+			for i := 0; i < op.ch.q.len(); i++ {
+				onWire[op.ch.q.at(i).vc]++
+			}
+			for i := 0; i < op.creditQ.len(); i++ {
+				onWire[op.creditQ.at(i).vc]++ // credit in flight holds a slot too
+			}
+			for v := 0; v < vcs; v++ {
+				depth := dstIn.vcs[v].fifo.cap()
+				got := op.credits[v] + dstIn.vcs[v].fifo.len() + onWire[v]
+				if got != depth {
+					return a.fail(now, "credit-conservation",
+						"router %d out[%d] -> router %d in[%d] vc%d: credits=%d + buffered=%d + in-flight=%d != depth %d",
+						r.id, oi, op.ch.dst.id, op.ch.dstPort, v,
+						op.credits[v], dstIn.vcs[v].fifo.len(), onWire[v], depth)
+				}
+			}
+		}
+	}
+	for _, ni := range s.nis {
+		ip := &ni.injector.in[ni.inPort]
+		onWire := a.perVC[:vcs]
+		for i := range onWire {
+			onWire[i] = 0
+		}
+		for i := 0; i < ni.creditQ.len(); i++ {
+			onWire[ni.creditQ.at(i).vc]++
+		}
+		for v := 0; v < vcs; v++ {
+			depth := ip.vcs[v].fifo.cap()
+			got := ni.credits[v] + ip.vcs[v].fifo.len() + onWire[v]
+			if got != depth {
+				return a.fail(now, "credit-conservation",
+					"NI %d -> router %d in[%d] vc%d: credits=%d + buffered=%d + in-flight=%d != depth %d",
+					ni.id, ni.injector.id, ni.inPort, v,
+					ni.credits[v], ip.vcs[v].fifo.len(), onWire[v], depth)
+			}
+		}
+	}
+	return nil
+}
+
+// checkActiveSets verifies the event-driven engine's occupancy bitmasks and
+// work lists against the actual buffer state: a component holding work must
+// be discoverable by the next step, and every occupancy bit must match its
+// FIFO.
+func (a *auditor) checkActiveSets(now int64) error {
+	s := a.s
+	for _, r := range s.routers {
+		total := 0
+		for pi := range r.in {
+			ip := &r.in[pi]
+			for vi := range ip.vcs {
+				n := ip.vcs[vi].fifo.len()
+				total += n
+				if occ := ip.occ>>uint(vi)&1 == 1; occ != (n > 0) {
+					return a.fail(now, "active-set",
+						"router %d in[%d] vc%d: occ bit %v but %d buffered flits", r.id, pi, vi, occ, n)
+				}
+			}
+			if ip.pend&^ip.occ != 0 {
+				return a.fail(now, "active-set",
+					"router %d in[%d]: pending mask %b not a subset of occupancy %b", r.id, pi, ip.pend, ip.occ)
+			}
+			if !r.wide {
+				if set := r.portOcc>>uint(pi)&1 == 1; set != (ip.occ != 0) {
+					return a.fail(now, "active-set",
+						"router %d: portOcc bit %d is %v but port occupancy is %b", r.id, pi, set, ip.occ)
+				}
+			}
+		}
+		if total != r.occupied {
+			return a.fail(now, "active-set",
+				"router %d: occupied=%d but buffers hold %d flits", r.id, r.occupied, total)
+		}
+		if r.occupied > 0 && s.rtrAct[uint(r.id)>>6]>>(uint(r.id)&63)&1 == 0 {
+			return a.fail(now, "active-set",
+				"router %d holds %d flits but is not on the router active set", r.id, r.occupied)
+		}
+	}
+	for _, ch := range s.channels {
+		if ch.q.len() > 0 && s.chAct[uint(ch.idx)>>6]>>(uint(ch.idx)&63)&1 == 0 {
+			return a.fail(now, "active-set",
+				"channel %d (router %d -> %d) holds %d flits but is not on the channel active set",
+				ch.idx, ch.src.id, ch.dst.id, ch.q.len())
+		}
+	}
+	for _, ni := range s.nis {
+		if ni.srcQ.len() > 0 && s.niAct[uint(ni.id)>>6]>>(uint(ni.id)&63)&1 == 0 {
+			return a.fail(now, "active-set",
+				"NI %d queues %d flits but is not on the injection active set", ni.id, ni.srcQ.len())
+		}
+		if ni.creditQ.len() > 0 && !ni.creditActive {
+			return a.fail(now, "active-set",
+				"NI %d has %d pending credits but is not credit-active", ni.id, ni.creditQ.len())
+		}
+	}
+	for _, r := range s.routers {
+		for oi := range r.out {
+			op := &r.out[oi]
+			if op.creditQ.len() > 0 && !op.creditActive {
+				return a.fail(now, "active-set",
+					"router %d out[%d] has %d pending credits but is not credit-active", r.id, oi, op.creditQ.len())
+			}
+		}
+	}
+	return nil
+}
+
+// noteGrant is the grant-time route-monotonicity check: called from
+// grantSwitch (audit mode only) when a head flit crosses to a network
+// channel. Every hop must move strictly toward the destination along the
+// packet's dimension order — X fully resolved before any Y movement under
+// DOR, the reverse for O1TURN's YX class — which also excludes U-turns.
+func (a *auditor) noteGrant(now int64, r *router, op *outPort, p *packet) {
+	if a.err != nil {
+		return
+	}
+	s := a.s
+	next := op.ch.dst
+	dr := p.dst / s.k
+	dx, dy := dr%s.w, dr/s.w
+	switch {
+	case next.y == r.y: // X move
+		if p.yx && r.y != dy {
+			a.err = a.fail(now, "route-monotonicity",
+				"pkt %d (%d->%d, YX) moved in X at router %d before finishing Y (y=%d, want %d)",
+				p.id, p.src, p.dst, r.id, r.y, dy)
+			return
+		}
+		if absInt(dx-next.x) >= absInt(dx-r.x) {
+			a.err = a.fail(now, "route-monotonicity",
+				"pkt %d (%d->%d) hop router %d -> %d moves away from column %d",
+				p.id, p.src, p.dst, r.id, next.id, dx)
+		}
+	case next.x == r.x: // Y move
+		if !p.yx && r.x != dx {
+			a.err = a.fail(now, "route-monotonicity",
+				"pkt %d (%d->%d, XY) moved in Y at router %d before finishing X (x=%d, want %d)",
+				p.id, p.src, p.dst, r.id, r.x, dx)
+			return
+		}
+		if absInt(dy-next.y) >= absInt(dy-r.y) {
+			a.err = a.fail(now, "route-monotonicity",
+				"pkt %d (%d->%d) hop router %d -> %d moves away from row %d",
+				p.id, p.src, p.dst, r.id, next.id, dy)
+		}
+	default:
+		a.err = a.fail(now, "route-monotonicity",
+			"pkt %d (%d->%d) hop router %d -> %d changes both dimensions",
+			p.id, p.src, p.dst, r.id, next.id)
+	}
+}
+
+// deadlockReportMax caps the per-VC lines in a deadlock dump; the full count
+// is always reported in the header.
+const deadlockReportMax = 16
+
+// deadlockReport names every input VC holding buffered traffic at the moment
+// a deadlock was suspected: the packet at its front, the output it is routed
+// to, and the downstream credit it is waiting on. The dump is the diagnostic
+// payload of DeadlockError.
+func (s *Simulator) deadlockReport() string {
+	var b strings.Builder
+	blocked := 0
+	for _, r := range s.routers {
+		for pi := range r.in {
+			ip := &r.in[pi]
+			for vi := range ip.vcs {
+				vc := &ip.vcs[vi]
+				if vc.fifo.len() == 0 {
+					continue
+				}
+				blocked++
+				if blocked > deadlockReportMax {
+					continue
+				}
+				fe := vc.fifo.front()
+				p := fe.f.pkt
+				fmt.Fprintf(&b, "  router %d@(%d,%d) in[%d] vc%d: pkt %d (%d->%d) flit %d/%d",
+					r.id, r.x, r.y, pi, vi, p.id, p.src, p.dst, fe.f.seq+1, p.flits)
+				switch {
+				case vc.outPort < 0:
+					b.WriteString(" awaiting route computation\n")
+				case vc.outVC < 0:
+					fmt.Fprintf(&b, " awaiting a VC on out[%d]\n", vc.outPort)
+				default:
+					op := &r.out[vc.outPort]
+					fmt.Fprintf(&b, " -> out[%d] vc%d credits=%d\n",
+						vc.outPort, vc.outVC, op.credits[vc.outVC])
+				}
+			}
+		}
+	}
+	var queued int64
+	for _, ni := range s.nis {
+		queued += int64(ni.srcQ.len())
+	}
+	header := fmt.Sprintf("%d blocked input VCs, %d flits in flight, %d flits queued at NIs",
+		blocked, s.inFlightFlits, queued)
+	if blocked > deadlockReportMax {
+		fmt.Fprintf(&b, "  ... and %d more blocked VCs\n", blocked-deadlockReportMax)
+	}
+	return header + "\n" + strings.TrimRight(b.String(), "\n")
+}

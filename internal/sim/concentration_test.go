@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"explink/internal/model"
@@ -87,7 +88,7 @@ func TestConcentrationTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := s.Run()
+	orig, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestConcentrationTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s2.Run()
+	res, err := s2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

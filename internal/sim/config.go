@@ -83,6 +83,14 @@ type Config struct {
 	// for later replay; retrieve it with Simulator.RecordedTrace.
 	Trace       *Trace
 	RecordTrace bool
+	// Audit enables the per-cycle invariant auditor: after every cycle the
+	// simulator re-derives flit conservation, per-channel credit
+	// conservation, active-set/occupancy consistency and route monotonicity
+	// from the raw engine state, and Run fails fast with an *AuditError
+	// (matching ErrAudit) naming the first violated invariant and the cycle.
+	// Auditing only reads engine state, so audited results are bit-identical
+	// to unaudited ones; it costs roughly an extra network sweep per cycle.
+	Audit bool
 	// Concentration is the number of cores sharing each router (default 1).
 	// The flattened butterfly of [17] concentrates several cores per router
 	// to shrink the network; with Concentration k, every router gets k
@@ -140,6 +148,12 @@ func (c *Config) normalize() error {
 			return err
 		}
 		c.WidthBits = w
+	}
+	if c.WidthBits <= 0 {
+		// Flit counts divide by the width (flitsForBits, model.FlitsFor): a
+		// zero or negative width would divide by zero during trace replay or
+		// produce packets with no flits.
+		return fmt.Errorf("sim: flit width %d bits must be positive: %w", c.WidthBits, ErrConfig)
 	}
 	if len(c.Mix) == 0 {
 		c.Mix = model.DefaultMix()

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"fmt"
 
 	"explink/internal/sim"
@@ -17,7 +18,7 @@ func ExampleSimulator_Run() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -84,16 +85,19 @@ func goldenCases() map[string]Config {
 }
 
 // runGolden executes every fixture case, including the trace record/replay
-// pair, and returns name -> Result.
-func runGolden(t *testing.T) map[string]Result {
+// pair, and returns name -> Result. With audit set every run re-verifies the
+// engine's conservation invariants each cycle; because the auditor only reads
+// state, the results must stay bit-identical either way.
+func runGolden(t *testing.T, audit bool) map[string]Result {
 	t.Helper()
 	out := map[string]Result{}
 	for name, cfg := range goldenCases() {
+		cfg.Audit = audit
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -104,11 +108,12 @@ func runGolden(t *testing.T) map[string]Result {
 	// simulator (with and without O1TURN's per-packet class redraw).
 	record := func(name string, cfg Config) *Trace {
 		cfg.RecordTrace = true
+		cfg.Audit = audit
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -117,13 +122,14 @@ func runGolden(t *testing.T) map[string]Result {
 	}
 	replay := func(name string, cfg Config, tr *Trace) {
 		cfg.Trace = tr
+		cfg.Audit = audit
 		cfg.Pattern = nil
 		cfg.InjectionRate = 0
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -160,28 +166,9 @@ func comparableResult(t *testing.T, v any) map[string]any {
 	return m
 }
 
-func TestGoldenBitIdentity(t *testing.T) {
-	got := runGolden(t)
-
-	if *updateGolden {
-		norm := map[string]map[string]any{}
-		for name, res := range got {
-			norm[name] = comparableResult(t, res)
-		}
-		raw, err := json.MarshalIndent(norm, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenFile, append(raw, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %d fixtures to %s", len(norm), goldenFile)
-		return
-	}
-
+// compareGolden checks a fixture map against the recorded golden file.
+func compareGolden(t *testing.T, got map[string]Result) {
+	t.Helper()
 	raw, err := os.ReadFile(goldenFile)
 	if err != nil {
 		t.Fatalf("missing fixtures (run with -update to record): %v", err)
@@ -206,4 +193,40 @@ func TestGoldenBitIdentity(t *testing.T) {
 			t.Errorf("%s: result diverged from seed engine\n got: %s\nwant: %s", name, gj, wj)
 		}
 	}
+}
+
+func TestGoldenBitIdentity(t *testing.T) {
+	got := runGolden(t, false)
+
+	if *updateGolden {
+		norm := map[string]map[string]any{}
+		for name, res := range got {
+			norm[name] = comparableResult(t, res)
+		}
+		raw, err := json.MarshalIndent(norm, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fixtures to %s", len(norm), goldenFile)
+		return
+	}
+
+	compareGolden(t, got)
+}
+
+// TestGoldenBitIdentityAudit reruns the full fixture matrix with the
+// invariant auditor enabled. It proves two things at once: the auditor is a
+// pure observer (every Result is still bit-identical to the recorded seed
+// fixtures), and nineteen diverse engine configurations uphold every
+// conservation invariant on every cycle. It never rewrites the fixtures,
+// even under -update: the audited run is a consumer of the golden file, not
+// a producer.
+func TestGoldenBitIdentityAudit(t *testing.T) {
+	compareGolden(t, runGolden(t, true))
 }

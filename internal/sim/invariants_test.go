@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"explink/internal/stats"
@@ -52,7 +53,7 @@ func TestRandomPlacementInvariants(t *testing.T) {
 				fasterThanLight++
 			}
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func TestRandomPlacementZeroLoadMatchesModel(t *testing.T) {
 			sumIdeal += ideal
 			count++
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,6 +22,28 @@ type Counts struct {
 	FlitsEjected     int64
 }
 
+// TruncateReason classifies why a run ended before draining naturally; the
+// empty value means the run drained. It lets callers of Run distinguish a
+// clean result from a partial one without re-deriving the cause from flags.
+type TruncateReason string
+
+const (
+	// TruncatedNone: the run drained every tagged packet.
+	TruncatedNone TruncateReason = ""
+	// TruncatedDrainLimit: the Drain-cycle cutoff expired with traffic still
+	// in flight (Run still returns a nil error; Drained is false).
+	TruncatedDrainLimit TruncateReason = "drain-limit"
+	// TruncatedCancelled: the run's context was cancelled or its deadline
+	// expired; Run returned an error matching ErrCancelled.
+	TruncatedCancelled TruncateReason = "cancelled"
+	// TruncatedDeadlock: no flit moved for ProgressTimeout cycles; Run
+	// returned a *DeadlockError.
+	TruncatedDeadlock TruncateReason = "deadlock"
+	// TruncatedAudit: Config.Audit detected an invariant violation; Run
+	// returned an *AuditError.
+	TruncatedAudit TruncateReason = "audit"
+)
+
 // Result reports the measured behaviour of one simulation run. Latency
 // statistics cover packets created during the measurement window; throughput
 // counts every ejection inside the window.
@@ -54,6 +76,10 @@ type Result struct {
 	MeasuredPackets   int64
 	Drained           bool
 	DeadlockSuspected bool
+	// Truncated records why the run stopped before draining; empty for a
+	// clean run. omitempty keeps drained fixtures byte-identical to the
+	// pre-run-control engine.
+	Truncated TruncateReason `json:",omitempty"`
 
 	// WallTime is the host wall-clock duration of Run, and CyclesPerSec the
 	// resulting simulated-cycles-per-second rate. Both describe the machine,
@@ -75,9 +101,13 @@ func (r Result) WithoutTiming() Result {
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s/%s rate=%.4f: lat=%.2f (net %.2f, p99 %d) hops=%.2f tc=%.2f thr=%.4f pkt/node/cy drained=%v",
+	s := fmt.Sprintf("%s/%s rate=%.4f: lat=%.2f (net %.2f, p99 %d) hops=%.2f tc=%.2f thr=%.4f pkt/node/cy drained=%v",
 		r.Topology, r.Pattern, r.InjRate, r.AvgPacketLatency, r.AvgNetLatency,
 		r.P99Latency, r.AvgHops, r.AvgContentionPerHop, r.ThroughputPackets, r.Drained)
+	if r.Truncated != TruncatedNone {
+		s += fmt.Sprintf(" truncated=%s", r.Truncated)
+	}
+	return s
 }
 
 // collector accumulates per-packet statistics during a run.

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"explink/internal/runctl"
 )
 
 // Agg reports a batch's aggregate simulation throughput: how many simulated
@@ -27,19 +30,26 @@ func (a Agg) String() string {
 // simulator, PRNG streams and statistics), so the output is bit-identical to
 // running them sequentially. workers <= 0 uses GOMAXPROCS.
 //
+// Cancelling ctx stops dispatching new runs and interrupts in-flight ones;
+// every run cut short contributes an error matching ErrCancelled.
+//
 // Partial-results contract: the returned slice always has len(cfgs) entries.
 // When the error is non-nil it aggregates every failed run (errors.Join, each
-// wrapped with its run index); the result slots of failed runs are
-// zero-valued and indistinguishable from a real zero Result, so callers must
-// not consume results[i] without first checking the error.
-func RunMany(cfgs []Config, workers int) ([]Result, error) {
-	results, _, err := RunManyAgg(cfgs, workers)
+// wrapped with its run index). A failed slot holds whatever partial Result its
+// run produced before stopping (check Truncated), or the zero Result if the
+// run never started, so callers must not consume results[i] without first
+// checking the error.
+func RunMany(ctx context.Context, cfgs []Config, workers int) ([]Result, error) {
+	results, _, err := RunManyAgg(ctx, cfgs, workers)
 	return results, err
 }
 
 // RunManyAgg is RunMany plus the batch's aggregate simulated-cycles/sec, so
 // sweeps can report simulation throughput alongside their results.
-func RunManyAgg(cfgs []Config, workers int) ([]Result, Agg, error) {
+func RunManyAgg(ctx context.Context, cfgs []Config, workers int) ([]Result, Agg, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,7 +68,7 @@ func RunManyAgg(cfgs []Config, workers int) ([]Result, Agg, error) {
 			for i := range jobs {
 				s, err := New(cfgs[i])
 				if err == nil {
-					results[i], err = s.Run()
+					results[i], err = s.Run(ctx)
 				}
 				if err != nil {
 					errs[i] = fmt.Errorf("sim: run %d: %w", i, err)
@@ -66,8 +76,18 @@ func RunManyAgg(cfgs []Config, workers int) ([]Result, Agg, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range cfgs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Stop handing out work; everything not yet dispatched fails
+			// uniformly so the joined error accounts for the whole batch.
+			for j := i; j < len(cfgs); j++ {
+				errs[j] = fmt.Errorf("sim: run %d not started: %w", j, runctl.Cancelled(ctx))
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()

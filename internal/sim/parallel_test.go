@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestRunManyMatchesSequential(t *testing.T) {
 		cfg.Measure = 2000
 		cfgs = append(cfgs, cfg)
 	}
-	par, err := RunMany(cfgs, 3)
+	par, err := RunMany(context.Background(), cfgs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestRunManyMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq, err := s.Run()
+		seq, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +40,7 @@ func TestRunManyPropagatesErrors(t *testing.T) {
 	good := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
 	bad := good
 	bad.InjectionRate = 7
-	if _, err := RunMany([]Config{good, bad}, 2); err == nil {
+	if _, err := RunMany(context.Background(), []Config{good, bad}, 2); err == nil {
 		t.Fatal("bad config error not propagated")
 	}
 }
@@ -52,7 +53,7 @@ func TestRunManyAggregatesAllErrors(t *testing.T) {
 	bad1.InjectionRate = 7
 	bad2 := good
 	bad2.InjectionRate = -1
-	results, err := RunMany([]Config{good, bad1, bad2}, 2)
+	results, err := RunMany(context.Background(), []Config{good, bad1, bad2}, 2)
 	if err == nil {
 		t.Fatal("errors swallowed")
 	}
@@ -70,12 +71,12 @@ func TestRunManyAggregatesAllErrors(t *testing.T) {
 }
 
 func TestRunManyEmptyAndDefaults(t *testing.T) {
-	res, err := RunMany(nil, 0)
+	res, err := RunMany(context.Background(), nil, 0)
 	if err != nil || len(res) != 0 {
 		t.Fatalf("empty RunMany: %v %v", res, err)
 	}
 	one := []Config{quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.01)}
-	res, err = RunMany(one, 0)
+	res, err = RunMany(context.Background(), one, 0)
 	if err != nil || len(res) != 1 || res[0].MeasuredPackets == 0 {
 		t.Fatalf("single RunMany: %v %v", res, err)
 	}
@@ -87,7 +88,7 @@ func TestChannelStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(); err != nil {
+	if _, err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	stats := s.ChannelStats()
@@ -135,7 +136,7 @@ func TestHFBBottleneckVisible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Run(); err != nil {
+		if _, err := s.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return s
@@ -162,7 +163,7 @@ func TestUtilizationHeatmap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(); err != nil {
+	if _, err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	hm := s.UtilizationHeatmap()
@@ -214,7 +215,7 @@ func TestResultAndChannelStrings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestRectangularTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := s.Run()
+	orig, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRectangularTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := s2.Run()
+	replay, err := s2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

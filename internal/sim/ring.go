@@ -55,6 +55,11 @@ func (r *delivRing) grow() {
 // front returns the oldest element; only valid when len() > 0.
 func (r *delivRing) front() *delivery { return &r.buf[r.head] }
 
+// at returns the i-th queued element in FIFO order without popping it; only
+// valid for i < len(). Used by the invariant auditor to count in-flight
+// entries without disturbing the queue.
+func (r *delivRing) at(i int) *delivery { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
 func (r *delivRing) popFront() delivery {
 	v := r.buf[r.head]
 	r.buf[r.head] = delivery{}
@@ -100,6 +105,10 @@ func (r *credRing) grow() {
 }
 
 func (r *credRing) front() *creditEvt { return &r.buf[r.head] }
+
+// at returns the i-th queued element in FIFO order without popping it; only
+// valid for i < len(). Used by the invariant auditor.
+func (r *credRing) at(i int) *creditEvt { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
 
 func (r *credRing) popFront() creditEvt {
 	v := r.buf[r.head]

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+// TestRunDeadlinePartialResult checks the context contract on Run: a run cut
+// short by a deadline returns the partial measurements it accumulated along
+// with an error matching both ErrCancelled and the context's cause.
+func TestRunDeadlinePartialResult(t *testing.T) {
+	cfg := NewConfig(topo.Mesh(8), 1, traffic.UniformRandom(8), 0.05)
+	cfg.Warmup = 100
+	cfg.Measure = 1 << 30 // would run for days without the deadline
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(ctx)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the deadline cause preserved", err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no partial result: zero cycles simulated before the deadline")
+	}
+	if res.Truncated != TruncatedCancelled {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, TruncatedCancelled)
+	}
+	if res.Drained {
+		t.Fatal("a cancelled run must not claim to have drained")
+	}
+}
+
+// TestRunManyAggMidBatchCancel cancels a single-worker batch while its first
+// (deliberately endless) run is in flight and checks the partial-results
+// contract: the in-flight run returns its partial Result with a cancellation
+// error, and every run never dispatched fails with its own indexed error, so
+// the joined error accounts for the whole batch.
+func TestRunManyAggMidBatchCancel(t *testing.T) {
+	mk := func(measure int) Config {
+		cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+		cfg.Warmup, cfg.Measure, cfg.Drain = 100, measure, 1000
+		return cfg
+	}
+	cfgs := []Config{mk(1 << 30), mk(500), mk(500), mk(500)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	results, _, err := RunManyAgg(ctx, cfgs, 1)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("err %T is not a joined error", err)
+	}
+	if n := len(joined.Unwrap()); n != len(cfgs) {
+		t.Fatalf("joined error has %d members, want %d (one per failed run)", n, len(cfgs))
+	}
+	if len(results) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(results), len(cfgs))
+	}
+	// The in-flight run kept its partial measurements; the undispatched runs
+	// stayed zero.
+	if results[0].Cycles == 0 || results[0].Truncated != TruncatedCancelled {
+		t.Fatalf("in-flight run lost its partial result: %+v", results[0])
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Cycles != 0 {
+			t.Fatalf("run %d should never have started, got %d cycles", i, results[i].Cycles)
+		}
+	}
+}
+
+// TestFindSaturationPointsSorted checks that the sweep's data points come
+// back sorted by offered rate even though refinement probes rates out of
+// order, and that the reported saturation point is itself among the points.
+func TestFindSaturationPointsSorted(t *testing.T) {
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0)
+	base.Warmup, base.Measure, base.Drain = 300, 1500, 5000
+	opts := DefaultSaturationOpts()
+	opts.Start = 0.02
+	opts.Factor = 2
+	opts.Refine = 3 // bisection visits rates between earlier coarse probes
+	res, err := FindSaturation(context.Background(), base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(res.Points, func(i, j int) bool {
+		return res.Points[i].Rate < res.Points[j].Rate
+	}) {
+		rates := make([]float64, len(res.Points))
+		for i, p := range res.Points {
+			rates[i] = p.Rate
+		}
+		t.Fatalf("points not sorted by rate: %v", rates)
+	}
+	found := false
+	for _, p := range res.Points {
+		if p.Rate == res.SatRate {
+			found = true
+			if p.Result.ThroughputPackets != res.Saturation {
+				t.Fatalf("saturation %.5f disagrees with its own point %.5f",
+					res.Saturation, p.Result.ThroughputPackets)
+			}
+			if !p.Result.Drained {
+				t.Fatal("the reported stable point did not drain")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("SatRate %.4f not among the %d probed points", res.SatRate, len(res.Points))
+	}
+}
+
+// stallNetwork advances a simulator until traffic is in flight, then revokes
+// every credit in the system: no router-to-router or NI injection channel can
+// ever move a flit again, which is indistinguishable from a routing deadlock.
+func stallNetwork(t *testing.T, s *Simulator) {
+	t.Helper()
+	for i := 0; i < 500 && s.inFlightFlits == 0; i++ {
+		s.step()
+		s.now++
+	}
+	if s.inFlightFlits == 0 {
+		t.Fatal("no traffic in flight after 500 warmup cycles")
+	}
+	for _, r := range s.routers {
+		for oi := range r.out {
+			op := &r.out[oi]
+			if op.isEject {
+				continue
+			}
+			for v := range op.credits {
+				op.credits[v] = 0
+			}
+		}
+	}
+	for _, ni := range s.nis {
+		for v := range ni.credits {
+			ni.credits[v] = 0
+		}
+	}
+}
+
+// TestDeadlockDiagnostics starves a healthy network of credits and checks
+// that Run reports a typed *DeadlockError whose dump names the blocked
+// routers, ports and VCs and the zero credit each is waiting on.
+func TestDeadlockDiagnostics(t *testing.T) {
+	cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.10)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 300, 2000, 20000
+	cfg.ProgressTimeout = 100
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stallNetwork(t, s)
+	res, err := s.Run(context.Background())
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err %T does not unwrap to *DeadlockError", err)
+	}
+	if de.Stall <= int64(cfg.ProgressTimeout) {
+		t.Fatalf("stall %d not past the %d-cycle timeout", de.Stall, cfg.ProgressTimeout)
+	}
+	if !strings.Contains(de.Report, "blocked input VCs") {
+		t.Fatalf("report missing the summary header:\n%s", de.Report)
+	}
+	if !strings.Contains(de.Report, "credits=0") {
+		t.Fatalf("report does not name the exhausted credits:\n%s", de.Report)
+	}
+	if !strings.Contains(de.Report, "router ") {
+		t.Fatalf("report does not name any blocked router:\n%s", de.Report)
+	}
+	if !res.DeadlockSuspected || res.Truncated != TruncatedDeadlock {
+		t.Fatalf("partial result not flagged: suspected=%v truncated=%q",
+			res.DeadlockSuspected, res.Truncated)
+	}
+}
+
+// auditSim builds an audited 4x4 simulator, advances it far enough for
+// traffic to flow through every invariant sweep, and asserts the healthy
+// engine passes the audit before the caller injects a fault.
+func auditSim(t *testing.T) *Simulator {
+	t.Helper()
+	cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 300, 2000, 10000
+	cfg.Audit = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		s.step()
+		if err := s.audit.check(s.now); err != nil {
+			t.Fatalf("healthy engine failed audit at cycle %d: %v", s.now, err)
+		}
+		s.now++
+	}
+	if s.inFlightFlits == 0 {
+		t.Fatal("no traffic in flight: the conservation sweeps saw an idle network")
+	}
+	return s
+}
+
+// mutateCredit seeds a one-off credit fault (an extra free credit on the
+// first non-eject output port of router 5) and returns a description of the
+// mutated channel.
+func mutateCredit(t *testing.T, s *Simulator) {
+	t.Helper()
+	r := s.routers[5]
+	for oi := range r.out {
+		if r.out[oi].isEject {
+			continue
+		}
+		r.out[oi].credits[0]++
+		return
+	}
+	t.Fatal("router 5 has no network output port")
+}
+
+// TestAuditDetectsCreditFault seeds a single spurious credit into a healthy
+// audited run and checks the auditor fails fast with the violated invariant
+// and cycle. This is the mutation test for the credit-conservation sweep: if
+// the auditor ever goes soft, this test rots first.
+func TestAuditDetectsCreditFault(t *testing.T) {
+	s := auditSim(t)
+	mutateCredit(t, s)
+	err := s.audit.check(s.now)
+	if err == nil {
+		t.Fatal("auditor accepted a corrupted credit count")
+	}
+	if !errors.Is(err, ErrAudit) {
+		t.Fatalf("err = %v, want ErrAudit", err)
+	}
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err %T does not unwrap to *AuditError", err)
+	}
+	if ae.Invariant != "credit-conservation" {
+		t.Fatalf("invariant = %q, want credit-conservation", ae.Invariant)
+	}
+	if ae.Cycle != s.now {
+		t.Fatalf("cycle = %d, want %d", ae.Cycle, s.now)
+	}
+	if !strings.Contains(ae.Detail, "router 5") {
+		t.Fatalf("detail does not name the faulty router: %s", ae.Detail)
+	}
+}
+
+// TestAuditDetectsFlitLoss corrupts the in-flight flit counter and checks
+// the flit-conservation sweep catches it.
+func TestAuditDetectsFlitLoss(t *testing.T) {
+	s := auditSim(t)
+	s.inFlightFlits--
+	err := s.audit.check(s.now)
+	if !errors.Is(err, ErrAudit) {
+		t.Fatalf("err = %v, want ErrAudit", err)
+	}
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err %T does not unwrap to *AuditError", err)
+	}
+	if ae.Invariant != "flit-conservation" {
+		t.Fatalf("invariant = %q, want flit-conservation", ae.Invariant)
+	}
+}
+
+// TestRunStopsOnAuditViolation checks the Run-level plumbing: a violation
+// mid-run truncates the simulation with TruncatedAudit and surfaces the
+// typed error, rather than silently producing numbers from a corrupt engine.
+func TestRunStopsOnAuditViolation(t *testing.T) {
+	s := auditSim(t)
+	mutateCredit(t, s)
+	res, err := s.Run(context.Background())
+	if !errors.Is(err, ErrAudit) {
+		t.Fatalf("err = %v, want ErrAudit", err)
+	}
+	if res.Truncated != TruncatedAudit {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, TruncatedAudit)
+	}
+	if res.Drained {
+		t.Fatal("an aborted run must not claim to have drained")
+	}
+}
+
+// TestConfigTypedErrors pins the typed validation errors: a negative flit
+// width (zero means "derive from BW") and a malformed trace must both be
+// matchable with ErrConfig.
+func TestConfigTypedErrors(t *testing.T) {
+	cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	cfg.WidthBits = -128
+	if _, err := New(cfg); !errors.Is(err, ErrConfig) {
+		t.Fatalf("WidthBits<0: err = %v, want ErrConfig", err)
+	}
+	bad := &Trace{W: 0, H: 4}
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("zero-width trace: err = %v, want ErrConfig", err)
+	}
+}

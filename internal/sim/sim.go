@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
 
 	"explink/internal/model"
+	"explink/internal/runctl"
 	"explink/internal/stats"
 )
 
@@ -47,6 +49,11 @@ type Simulator struct {
 	measEnd       int64
 	hardEnd       int64
 	deadlock      bool
+	truncated     TruncateReason
+
+	// audit is the opt-in per-cycle invariant auditor (Config.Audit); nil in
+	// normal runs, where its only cost is one nil check per switch grant.
+	audit *auditor
 
 	inCand []int  // scratch: per-inPort chosen VC during switch allocation
 	outReq []int  // scratch: output ports with at least one nomination
@@ -110,26 +117,66 @@ func New(cfg Config) (*Simulator, error) {
 	s.measEnd = int64(cfg.Warmup + cfg.Measure)
 	s.hardEnd = s.measEnd + int64(cfg.Drain)
 	s.lastProgress = 0
+	if cfg.Audit {
+		s.audit = newAuditor(s)
+	}
 	return s, nil
 }
 
-// Run executes the whole simulation and returns its measurements.
-func (s *Simulator) Run() (Result, error) {
+// ctxCheckMask throttles the context poll in the run loop: the context is
+// consulted when the low bits of the cycle counter are zero, i.e. every 512
+// cycles (well under a millisecond of wall time at engine speed), so
+// deadlines land promptly without a per-cycle branch cost.
+const ctxCheckMask = 512 - 1
+
+// Run executes the whole simulation and returns its measurements. The
+// context bounds the run: on cancellation or deadline expiry Run stops
+// within a few hundred cycles and returns the partial Result measured so far
+// (Truncated = TruncatedCancelled) alongside an error matching ErrCancelled.
+//
+// A run that makes no progress for Config.ProgressTimeout cycles while
+// traffic is in flight returns its partial Result with a *DeadlockError
+// (matching ErrDeadlock) whose report names every blocked router, port and
+// VC and the credit each is waiting on. With Config.Audit set, the first
+// violated engine invariant fails the run with an *AuditError (matching
+// ErrAudit). In both cases Result.Truncated records why the run ended early;
+// a run that merely hits the Drain-cycle cutoff still returns a nil error
+// with Truncated = TruncatedDrainLimit.
+func (s *Simulator) Run(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	drained := false
+	var runErr error
 	for {
 		if s.now >= s.measEnd && s.taggedDone == s.taggedCreated && s.inFlightFlits == 0 {
 			drained = true
 			break
 		}
 		if s.now >= s.hardEnd {
+			s.truncated = TruncatedDrainLimit
 			break
 		}
-		if s.inFlightFlits > 0 && s.now-s.lastProgress > int64(s.cfg.ProgressTimeout) {
+		if stall := s.now - s.lastProgress; s.inFlightFlits > 0 && stall > int64(s.cfg.ProgressTimeout) {
 			s.deadlock = true
+			s.truncated = TruncatedDeadlock
+			runErr = &DeadlockError{Cycle: s.now, Stall: stall, Report: s.deadlockReport()}
+			break
+		}
+		if s.now&ctxCheckMask == 0 && ctx.Err() != nil {
+			s.truncated = TruncatedCancelled
+			runErr = fmt.Errorf("sim: run cancelled at cycle %d: %w", s.now, runctl.Cancelled(ctx))
 			break
 		}
 		s.step()
+		if s.audit != nil {
+			if err := s.audit.check(s.now); err != nil {
+				s.truncated = TruncatedAudit
+				runErr = err
+				break
+			}
+		}
 		s.now++
 	}
 	res := s.result(drained)
@@ -137,13 +184,15 @@ func (s *Simulator) Run() (Result, error) {
 	if sec := res.WallTime.Seconds(); sec > 0 {
 		res.CyclesPerSec = float64(res.Cycles) / sec
 	}
-	return res, nil
+	return res, runErr
 }
 
 func (s *Simulator) result(drained bool) Result {
 	patName := "trace"
 	if s.cfg.Pattern != nil {
 		patName = s.cfg.Pattern.Name()
+	} else if s.cfg.Trace != nil && s.cfg.Trace.Name != "" {
+		patName = fmt.Sprintf("trace(%s)", s.cfg.Trace.Name)
 	}
 	r := Result{
 		Topology:          s.cfg.Topo.Name,
@@ -153,6 +202,7 @@ func (s *Simulator) result(drained bool) Result {
 		MeasuredPackets:   s.col.latency.Count(),
 		Drained:           drained,
 		DeadlockSuspected: s.deadlock,
+		Truncated:         s.truncated,
 		Counts:            s.counts,
 	}
 	r.AvgPacketLatency = s.col.latency.Mean()
@@ -679,6 +729,9 @@ func (s *Simulator) grantSwitch(r *router, pi, vi int) {
 	} else {
 		if f.isHead() {
 			f.pkt.hops++
+			if s.audit != nil {
+				s.audit.noteGrant(now, r, op, f.pkt)
+			}
 		}
 		op.credits[vc.outVC]--
 		op.ch.push(delivery{at: now + 1 + op.ch.latency, f: f, vc: int(vc.outVC)})

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -36,7 +37,7 @@ func mustRun(t *testing.T, cfg Config) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestConservationAndDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,11 +338,11 @@ func TestThroughputOrdering(t *testing.T) {
 		cfg.Drain = 8000
 		return cfg
 	}
-	mesh, err := FindSaturation(base(topo.Mesh(4), 1), opts)
+	mesh, err := FindSaturation(context.Background(), base(topo.Mesh(4), 1), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fb, err := FindSaturation(base(topo.FlattenedButterfly(4), 4), opts)
+	fb, err := FindSaturation(context.Background(), base(topo.FlattenedButterfly(4), 4), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

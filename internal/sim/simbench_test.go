@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -23,7 +24,7 @@ func dcsaTopo8(tb testing.TB) (topo.Topology, int) {
 	dcsaOnce.Do(func() {
 		s := core.NewSolver(model.DefaultConfig(8))
 		s.Seed = 1
-		best, _, err := s.Optimize(core.DCSA)
+		best, _, err := s.Optimize(context.Background(), core.DCSA)
 		if err != nil {
 			dcsaOnce.err = err
 			return
@@ -92,7 +93,7 @@ func BenchmarkRun4x4UR(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.Run(); err != nil {
+		if _, err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

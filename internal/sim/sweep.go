@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -15,6 +18,8 @@ type SweepPoint struct {
 // throughput (Fig. 8b's metric: accepted packets per node per cycle at the
 // highest stable load).
 type SweepResult struct {
+	// Points is the probed load-latency curve, sorted by ascending Rate
+	// (bisection probes land between the coarse samples, not after them).
 	Points     []SweepPoint
 	Saturation float64 // accepted packets/node/cycle at the last stable point
 	SatRate    float64 // offered rate of that point
@@ -48,11 +53,22 @@ func DefaultSaturationOpts() SaturationOpts {
 // FindSaturation sweeps the offered load upward until the network saturates,
 // then bisects to locate the knee. The base config's InjectionRate is
 // ignored; everything else (topology, pattern, seed, phases) is reused.
-func FindSaturation(base Config, opts SaturationOpts) (sr SweepResult, err error) {
+//
+// A probe run that trips the deadlock detector is a legitimate data point —
+// it means the rate is past saturation — so it lands on the curve instead of
+// failing the sweep. Cancelling ctx aborts the search with an error matching
+// ErrCancelled; the points probed so far are returned alongside it.
+func FindSaturation(ctx context.Context, base Config, opts SaturationOpts) (sr SweepResult, err error) {
 	if opts.Start <= 0 || opts.Factor <= 1 || opts.MaxRate <= 0 {
 		return SweepResult{}, fmt.Errorf("sim: bad saturation options %+v", opts)
 	}
 	defer func() {
+		// Bisection appends its mid-rate probes after the coarse samples;
+		// restore rate order so Points is a plottable curve even when the
+		// sweep returns early with partial results.
+		sort.SliceStable(sr.Points, func(i, j int) bool {
+			return sr.Points[i].Rate < sr.Points[j].Rate
+		})
 		if sec := sr.WallTime.Seconds(); sec > 0 {
 			sr.CyclesPerSec = float64(sr.SimCycles) / sec
 		}
@@ -64,10 +80,14 @@ func FindSaturation(base Config, opts SaturationOpts) (sr SweepResult, err error
 		if err != nil {
 			return Result{}, err
 		}
-		res, err := s.Run()
-		if err == nil {
-			sr.SimCycles += res.Cycles
-			sr.WallTime += res.WallTime
+		res, err := s.Run(ctx)
+		sr.SimCycles += res.Cycles
+		sr.WallTime += res.WallTime
+		if errors.Is(err, ErrDeadlock) {
+			// The probe deadlocked: not a sweep failure but the clearest
+			// possible saturation signal. DeadlockSuspected is set on the
+			// result, so stable() rejects the point.
+			err = nil
 		}
 		return res, err
 	}
@@ -78,7 +98,7 @@ func FindSaturation(base Config, opts SaturationOpts) (sr SweepResult, err error
 	}
 	sr.Points = append(sr.Points, SweepPoint{Rate: opts.Start, Result: zero})
 	if !zero.Drained || zero.MeasuredPackets == 0 {
-		return sr, fmt.Errorf("sim: network unstable at the probe rate %g", opts.Start)
+		return sr, fmt.Errorf("sim: network unstable at the probe rate %g: %w", opts.Start, ErrUnstable)
 	}
 	zeroLat := zero.AvgPacketLatency
 	stable := func(r Result) bool {

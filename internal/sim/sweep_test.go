@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"explink/internal/topo"
@@ -14,7 +15,7 @@ func TestFindSaturationOptionsValidation(t *testing.T) {
 		{Start: 0.01, Factor: 1, MaxRate: 1},
 		{Start: 0.01, Factor: 2, MaxRate: 0},
 	} {
-		if _, err := FindSaturation(base, opts); err == nil {
+		if _, err := FindSaturation(context.Background(), base, opts); err == nil {
 			t.Fatalf("bad opts accepted: %+v", opts)
 		}
 	}
@@ -27,7 +28,7 @@ func TestFindSaturationFindsKnee(t *testing.T) {
 	opts.Start = 0.02
 	opts.Factor = 2
 	opts.Refine = 2
-	res, err := FindSaturation(base, opts)
+	res, err := FindSaturation(context.Background(), base, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFindSaturationProbesMaxRateExactly(t *testing.T) {
 	opts.Start = 0.02
 	opts.Factor = 2
 	opts.MaxRate = 0.05
-	res, err := FindSaturation(base, opts)
+	res, err := FindSaturation(context.Background(), base, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFindSaturationNeverSaturates(t *testing.T) {
 	opts.Start = 0.01
 	opts.Factor = 2
 	opts.MaxRate = 0.04
-	res, err := FindSaturation(base, opts)
+	res, err := FindSaturation(context.Background(), base, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

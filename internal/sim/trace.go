@@ -25,6 +25,9 @@ type Trace struct {
 	// K is the concentration the trace was recorded at (0 means 1).
 	K       int          `json:"k,omitempty"`
 	Entries []TraceEntry `json:"entries"`
+	// Name optionally labels the workload (e.g. the file it was loaded
+	// from); replay results report Pattern as "trace(Name)" when set.
+	Name string `json:"name,omitempty"`
 }
 
 func (tr *Trace) concentration() int {
@@ -34,23 +37,29 @@ func (tr *Trace) concentration() int {
 	return tr.K
 }
 
-// Validate checks the trace is sorted by cycle with in-range nodes.
+// Validate checks the trace dimensions and that entries are sorted by cycle
+// with in-range nodes and positive sizes. Every rejection wraps ErrConfig.
 func (tr *Trace) Validate() error {
+	if tr.W < 1 || tr.H < 1 || tr.K < 0 {
+		return fmt.Errorf("sim: trace dimensions %dx%dx%d: %w", tr.W, tr.H, tr.K, ErrConfig)
+	}
 	nodes := tr.W * tr.H * tr.concentration()
 	var prev int64 = -1
 	for i, e := range tr.Entries {
 		if e.Cycle < prev {
-			return fmt.Errorf("sim: trace entry %d out of order (cycle %d after %d)", i, e.Cycle, prev)
+			return fmt.Errorf("sim: trace entry %d out of order (cycle %d after %d): %w", i, e.Cycle, prev, ErrConfig)
 		}
 		prev = e.Cycle
 		if e.Src < 0 || e.Src >= nodes || e.Dst < 0 || e.Dst >= nodes {
-			return fmt.Errorf("sim: trace entry %d has out-of-range nodes (%d -> %d)", i, e.Src, e.Dst)
+			return fmt.Errorf("sim: trace entry %d has out-of-range nodes (%d -> %d): %w", i, e.Src, e.Dst, ErrConfig)
 		}
 		if e.Src == e.Dst {
-			return fmt.Errorf("sim: trace entry %d is self-addressed", i)
+			return fmt.Errorf("sim: trace entry %d is self-addressed: %w", i, ErrConfig)
 		}
 		if e.Bits <= 0 {
-			return fmt.Errorf("sim: trace entry %d has size %d", i, e.Bits)
+			// A non-positive size would make flitsForBits produce zero or
+			// negative flit counts at replay time.
+			return fmt.Errorf("sim: trace entry %d has size %d bits: %w", i, e.Bits, ErrConfig)
 		}
 	}
 	return nil

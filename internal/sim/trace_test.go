@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"explink/internal/topo"
@@ -18,7 +19,7 @@ func TestTraceRecordReplayIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := s.Run()
+	orig, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestTraceRecordReplayIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := s2.Run()
+	replay, err := s2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,12 +10,12 @@ import (
 // routerCycleWide's full-scan path, which must produce bit-identical results
 // to the default bitmask-driven path across the whole golden fixture matrix.
 func TestWidePathMatchesMasked(t *testing.T) {
-	masked := runGolden(t)
+	masked := runGolden(t, false)
 
 	old := maxMaskPorts
 	maxMaskPorts = 0
 	defer func() { maxMaskPorts = old }()
-	wide := runGolden(t)
+	wide := runGolden(t, false)
 
 	if len(masked) != len(wide) {
 		t.Fatalf("case count mismatch: %d masked vs %d wide", len(masked), len(wide))
