@@ -1,218 +1,224 @@
 // Command expbench regenerates the paper's evaluation: every figure and
 // table of Section 5, printed as plain-text tables whose rows/series match
-// what the paper plots.
+// what the paper plots. Experiments come from the declarative registry in
+// internal/exp; every placement solve is routed through a shared
+// content-addressed cache, so a suite run computes each distinct placement
+// exactly once and a warm -cache-dir run skips annealing entirely with
+// bit-identical output.
 //
 // Usage:
 //
-//	expbench                 # run everything at full fidelity
-//	expbench -exp fig5       # one experiment (fig5..fig12, table2, appspec)
-//	expbench -quick          # reduced budgets (seconds instead of minutes)
+//	expbench                        # run everything at full fidelity
+//	expbench -exp fig5,fig11        # a comma-separated subset (see -list)
+//	expbench -quick                 # reduced budgets (seconds instead of minutes)
+//	expbench -json                  # structured JSON results instead of text
+//	expbench -cache-dir .explink    # persist placement solves across runs
+//
+// Progress, timings and cache statistics go to stderr; stdout carries only
+// the results, so runs with identical inputs produce byte-identical stdout.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
+	"explink/internal/core"
 	"explink/internal/exp"
+	"explink/internal/runctl"
+	"explink/internal/stats"
 )
 
-type runner struct {
-	name string
-	desc string
-	run  func(exp.Options) (string, error)
+// outcome is one scheduled experiment's result slot.
+type outcome struct {
+	exp     exp.Experiment
+	rep     *stats.Report
+	err     error
+	elapsed time.Duration
 }
 
-func runners() []runner {
-	return []runner{
-		{"fig5", "latency vs link limit C (Mesh, HFB, OnlySA, D&C_SA, L_D, L_S)", func(o exp.Options) (string, error) {
-			r, err := exp.Fig5(o)
-			if err != nil {
-				return "", err
-			}
-			out := r.Render()
-			for _, h := range r.Headlines() {
-				out += fmt.Sprintf("headline %dx%d: %.1f%% vs Mesh, %.1f%% vs HFB, OnlySA +%.1f%%\n",
-					h.N, h.N, h.VsMesh, h.VsHFB, h.OnlySAOver)
-			}
-			return out, nil
-		}},
-		{"fig6", "per-PARSEC-benchmark latency on 8x8 (simulated)", func(o exp.Options) (string, error) {
-			r, err := exp.Fig6(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"fig7", "placement quality vs normalized runtime", func(o exp.Options) (string, error) {
-			r, err := exp.Fig7(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"fig8", "synthetic traffic latency and throughput (simulated)", func(o exp.Options) (string, error) {
-			r, err := exp.Fig8(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"fig9", "router power per benchmark (simulated + power model)", func(o exp.Options) (string, error) {
-			r, err := exp.Fig9(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"fig10", "router static power breakdown", func(o exp.Options) (string, error) {
-			r, err := exp.Fig10(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"fig11", "impact of bisection bandwidth (2K vs 8K Gb/s)", func(o exp.Options) (string, error) {
-			r, err := exp.Fig11(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"fig12", "D&C_SA vs exhaustive optimal", func(o exp.Options) (string, error) {
-			r, err := exp.Fig12(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"table2", "maximum zero-load packet latency", func(o exp.Options) (string, error) {
-			r, err := exp.Table2(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"appspec", "application-specific re-optimization (Section 5.6.4)", func(o exp.Options) (string, error) {
-			r, err := exp.AppSpec(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"abgen", "ablation: connection-matrix vs naive SA candidate generator (Section 4.4.2)", func(o exp.Options) (string, error) {
-			r, err := exp.AblationGenerator(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"abroute", "ablation: XY vs O1TURN routing (Section 4.2)", func(o exp.Options) (string, error) {
-			r, err := exp.AblationRouting(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"abbypass", "ablation: physical express links vs pipeline bypass (Section 2.1)", func(o exp.Options) (string, error) {
-			r, err := exp.AblationBypass(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"bottleneck", "channel-load analysis behind Fig. 8b's throughput gap (Section 5.4)", func(o exp.Options) (string, error) {
-			r, err := exp.Bottleneck(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"robust", "extension: latency degradation under express-link failures", func(o exp.Options) (string, error) {
-			r, err := exp.Robustness(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"loadlat", "load-latency curves connecting Fig. 8a and Fig. 8b", func(o exp.Options) (string, error) {
-			r, err := exp.LoadLatency(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
-		{"microarch", "router sensitivity: VC count (Section 2.2) and buffer budget (Section 4.6)", func(o exp.Options) (string, error) {
-			r, err := exp.Microarch(o)
-			if err != nil {
-				return "", err
-			}
-			return r.Render(), nil
-		}},
+// selectExperiments resolves the -exp argument ("all" or a comma-separated
+// name list) against the registry, preserving registry order and rejecting
+// unknown names.
+func selectExperiments(arg string) ([]exp.Experiment, error) {
+	if strings.EqualFold(strings.TrimSpace(arg), "all") {
+		return exp.All(), nil
 	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := exp.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", name)
+		}
+		want[strings.ToLower(name)] = true
+	}
+	if len(want) == 0 {
+		return nil, errors.New("no experiments selected")
+	}
+	var sel []exp.Experiment
+	for _, e := range exp.All() {
+		if want[e.Name] {
+			sel = append(sel, e)
+		}
+	}
+	return sel, nil
+}
+
+// runAll executes the selected experiments on a worker pool of the given
+// width. Results land in registry order regardless of completion order; a
+// cancelled context fails the unstarted experiments quickly while finished
+// ones keep their results.
+func runAll(ctx context.Context, sel []exp.Experiment, opts exp.Options, parallel int) []outcome {
+	if parallel < 1 {
+		parallel = 1
+	}
+	out := make([]outcome, len(sel))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, e := range sel {
+		wg.Add(1)
+		go func(i int, e exp.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			rep, err := e.Run(opts)
+			out[i] = outcome{exp: e, rep: rep, err: err, elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		which   = flag.String("exp", "all", "experiment to run: all, or one of fig5..fig12, table2, appspec, ...")
-		quick   = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		outDir  = flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt")
-		timeout = flag.Duration("timeout", 0, "abort the whole suite after this wall-clock duration (0 = no limit)")
-		audit   = flag.Bool("audit", false, "run every simulation with the per-cycle invariant auditor enabled")
+		which    = flag.String("exp", "all", "experiments to run: all, or a comma-separated list (see -list)")
+		quick    = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt (and .json with -json)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole suite after this wall-clock duration (0 = no limit)")
+		audit    = flag.Bool("audit", false, "run every simulation with the per-cycle invariant auditor enabled")
+		jsonOut  = flag.Bool("json", false, "emit structured JSON results (a JSON array on stdout instead of text)")
+		cacheDir = flag.String("cache-dir", "", "persist placement solves under this directory; a warm run re-solves nothing")
+		parallel = flag.Int("parallel", 1, "run up to this many experiments concurrently (results still print in order)")
 	)
 	flag.Parse()
 
-	rs := runners()
 	if *list {
-		for _, r := range rs {
-			fmt.Printf("%-8s %s\n", r.name, r.desc)
+		for _, e := range exp.All() {
+			fmt.Printf("%-11s %-22s %s\n", e.Name, e.Section, e.Desc)
 		}
-		return
+		return 0
+	}
+
+	sel, err := selectExperiments(*which)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+		return 1
+	}
+
+	// Ctrl-C / SIGTERM cancels the run context: in-flight solves and
+	// simulations fail with runctl.ErrCancelled, finished experiments still
+	// print, and the exit code is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	store, err := core.NewPlacementStore(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+		return 1
 	}
 
 	opts := exp.DefaultOptions()
 	opts.Quick = *quick
 	opts.Seed = *seed
 	opts.Audit = *audit
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		opts.Ctx = ctx
+	opts.Ctx = ctx
+	opts.Store = store
+
+	if *parallel > runtime.GOMAXPROCS(0) {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	results := runAll(ctx, sel, opts, *parallel)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+			return 1
+		}
 	}
 
-	ran := 0
-	for _, r := range rs {
-		if *which != "all" && !strings.EqualFold(*which, r.name) {
+	failed := 0
+	var reports []*stats.Report
+	for _, oc := range results {
+		if oc.err != nil {
+			failed++
+			msg := "expbench %s: %v\n"
+			if errors.Is(oc.err, runctl.ErrCancelled) {
+				msg = "expbench %s: interrupted: %v\n"
+			}
+			fmt.Fprintf(os.Stderr, msg, oc.exp.Name, oc.err)
 			continue
 		}
-		ran++
-		start := time.Now()
-		out, err := r.run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "expbench %s: %v\n", r.name, err)
-			os.Exit(1)
+		fmt.Fprintf(os.Stderr, "expbench: %s finished in %.1fs\n", oc.exp.Name, oc.elapsed.Seconds())
+		reports = append(reports, oc.rep)
+		text := oc.rep.Render()
+		if !*jsonOut {
+			fmt.Printf("### %s — %s\n\n%s\n", oc.exp.Name, oc.exp.Desc, text)
 		}
-		fmt.Printf("### %s — %s\n\n%s\n(%.1fs)\n\n", r.name, r.desc, out, time.Since(start).Seconds())
 		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			if err := os.WriteFile(filepath.Join(*outDir, oc.exp.Name+".txt"), []byte(text), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
-			path := filepath.Join(*outDir, r.name+".txt")
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
-				os.Exit(1)
+			if *jsonOut {
+				buf, err := oc.rep.JSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+					return 1
+				}
+				if err := os.WriteFile(filepath.Join(*outDir, oc.exp.Name+".json"), buf, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+					return 1
+				}
 			}
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "expbench: unknown experiment %q (use -list)\n", *which)
-		os.Exit(1)
+	if *jsonOut {
+		buf, err := stats.ReportsJSON(reports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(buf)
 	}
+
+	fmt.Fprintf(os.Stderr, "expbench: placement cache: %s\n", store.Counters())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "expbench: %d of %d experiments failed\n", failed, len(results))
+		return 1
+	}
+	return 0
 }

@@ -1,51 +1,96 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"explink/internal/core"
 	"explink/internal/exp"
+	"explink/internal/runctl"
 )
 
-func TestRunnersRegistry(t *testing.T) {
-	rs := runners()
-	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-		"fig12", "table2", "appspec", "abgen", "abroute", "abbypass",
-		"bottleneck", "robust", "loadlat", "microarch"}
-	if len(rs) != len(want) {
-		t.Fatalf("got %d runners, want %d", len(rs), len(want))
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i, r := range rs {
-		if r.name != want[i] {
-			t.Fatalf("runner %d is %q, want %q", i, r.name, want[i])
-		}
-		if r.desc == "" || r.run == nil {
-			t.Fatalf("runner %q incomplete", r.name)
-		}
+	if len(all) != len(exp.All()) {
+		t.Fatalf("all selected %d of %d", len(all), len(exp.All()))
+	}
+
+	sel, err := selectExperiments("fig11, FIG5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registry order wins over argument order.
+	if len(sel) != 2 || sel[0].Name != "fig5" || sel[1].Name != "fig11" {
+		t.Fatalf("selection = %v", sel)
+	}
+
+	if _, err := selectExperiments("fig5,nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := selectExperiments(" , "); err == nil {
+		t.Fatal("empty selection accepted")
 	}
 }
 
-// The cheap analytic experiments run end to end through the registry; the
-// simulator-heavy ones are covered by internal/exp's own tests.
-func TestRunnersExecuteQuick(t *testing.T) {
+// The scheduler keeps results in registry order, shares one placement store
+// across experiments, and reports per-experiment errors without dropping the
+// successes.
+func TestRunAllOrderAndCache(t *testing.T) {
+	sel, err := selectExperiments("fig5,table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := core.NewPlacementStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
 	opts := exp.QuickOptions()
-	for _, r := range runners() {
-		switch r.name {
-		case "fig5", "fig11", "fig12", "table2", "abgen":
-			out, err := r.run(opts)
-			if err != nil {
-				t.Fatalf("%s: %v", r.name, err)
-			}
-			if !strings.Contains(out, "==") || len(out) < 100 {
-				t.Fatalf("%s: suspicious output %q", r.name, out[:min(len(out), 80)])
-			}
+	opts.Store = store
+	results := runAll(context.Background(), sel, opts, 2)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, oc := range results {
+		if oc.err != nil {
+			t.Fatalf("%s: %v", oc.exp.Name, oc.err)
 		}
+		if oc.exp.Name != sel[i].Name || oc.rep.Name != sel[i].Name {
+			t.Fatalf("slot %d holds %s/%s, want %s", i, oc.exp.Name, oc.rep.Name, sel[i].Name)
+		}
+		if !strings.Contains(oc.rep.Render(), "==") {
+			t.Fatalf("%s: suspicious render", oc.exp.Name)
+		}
+	}
+	c := store.Counters()
+	if c.Solves == 0 {
+		t.Fatal("no solves recorded")
+	}
+	// fig5 and table2 sweep the same link limits on the same sizes: the
+	// second experiment must reuse the first one's solves.
+	if c.Hits == 0 {
+		t.Fatalf("experiments did not share the cache: %v", c)
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+func TestRunAllCancelled(t *testing.T) {
+	sel, err := selectExperiments("fig5")
+	if err != nil {
+		t.Fatal(err)
 	}
-	return b
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := exp.QuickOptions()
+	opts.Ctx = ctx
+	results := runAll(ctx, sel, opts, 1)
+	if results[0].err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !errors.Is(results[0].err, runctl.ErrCancelled) {
+		t.Fatalf("error not in the cancellation taxonomy: %v", results[0].err)
+	}
 }

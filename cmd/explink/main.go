@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"explink/internal/core"
 	"explink/internal/model"
@@ -43,7 +45,10 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the optimization through the runctl taxonomy
+	// instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"explink/internal/core"
@@ -52,7 +54,10 @@ func main() {
 		fatal(fmt.Errorf("-saturate and -loadtrace are mutually exclusive: a replayed trace has a fixed injection schedule"))
 	}
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the simulation through the runctl taxonomy
+	// instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

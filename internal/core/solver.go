@@ -52,6 +52,13 @@ type Solver struct {
 	// GOMAXPROCS. Every sub-problem draws from its own rngFor stream, so the
 	// output is bit-identical for any worker count, including 1.
 	Workers int
+	// Store, when non-nil, routes every row and weighted-line solve through
+	// a shared content-addressed placement cache: a repeated solve with the
+	// same canonical key (n, C, bandwidth, mix, params, weights, algorithm,
+	// seed, schedule) returns the cached, bit-identical solution instead of
+	// re-running SA. Workers is not part of the key — output never depends
+	// on it.
+	Store *PlacementStore
 }
 
 // NewSolver returns a solver with the paper's default SA schedule.
@@ -110,8 +117,27 @@ func (s *Solver) rng(c int, algo Algorithm) *stats.RNG { return s.rngFor(c, algo
 // SolveRow solves P̃(n, C) with the chosen algorithm and scores the resulting
 // placement on the full network. Cancelling ctx cuts the annealing short and
 // fails the solve with an error matching runctl.ErrCancelled — a truncated
-// search result would silently misrank the link limits in Optimize.
+// search result would silently misrank the link limits in Optimize. With a
+// Store attached the solve is answered from the cache when possible; errors
+// (including cancellation) are never cached.
 func (s *Solver) SolveRow(ctx context.Context, c int, algo Algorithm) (RowSolution, error) {
+	if s.Store == nil {
+		return s.solveRowUncached(ctx, c, algo)
+	}
+	sp, _, err := s.Store.GetOrCompute(s.rowKey(c, algo), func() (StoredPlacement, error) {
+		sol, err := s.solveRowUncached(ctx, c, algo)
+		if err != nil {
+			return StoredPlacement{}, err
+		}
+		return storedFromSolution(sol), nil
+	})
+	if err != nil {
+		return RowSolution{}, err
+	}
+	return sp.RowSolution(), nil
+}
+
+func (s *Solver) solveRowUncached(ctx context.Context, c int, algo Algorithm) (RowSolution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"explink/internal/model"
+	"explink/internal/topo"
+)
+
+// storeVersion salts every cache key with the placement-code generation: any
+// change to the solvers that can alter a solution for the same inputs must
+// bump it, so stale on-disk artifacts from an older binary become misses
+// instead of silently wrong answers.
+const storeVersion = "explink/placement/v1"
+
+// StoredPlacement is the cacheable outcome of one placement solve — the
+// uniform row solve behind SolveRow/Optimize, or one weighted line solve
+// behind SolveWeighted. Everything in it round-trips through encoding/json
+// bit-identically (spans are ints; float64 marshals shortest-round-trip), so
+// a cache hit reproduces the original solution exactly.
+type StoredPlacement struct {
+	Algo    Algorithm   `json:"algo"`
+	C       int         `json:"c"`
+	N       int         `json:"n"`
+	Express []topo.Span `json:"express,omitempty"`
+	Eval    model.Eval  `json:"eval"`
+	Evals   int64       `json:"evals"`
+}
+
+// Row reconstructs the placement row.
+func (sp StoredPlacement) Row() topo.Row {
+	return topo.Row{N: sp.N, Express: sp.Express}
+}
+
+// RowSolution reconstructs the full uniform-row solution.
+func (sp StoredPlacement) RowSolution() RowSolution {
+	return RowSolution{Algo: sp.Algo, C: sp.C, Row: sp.Row(), Eval: sp.Eval, Evals: sp.Evals}
+}
+
+func storedFromSolution(sol RowSolution) StoredPlacement {
+	sp := StoredPlacement{Algo: sol.Algo, C: sol.C, N: sol.Row.N, Eval: sol.Eval, Evals: sol.Evals}
+	if len(sol.Row.Express) > 0 {
+		sp.Express = sol.Row.Express
+	}
+	return sp
+}
+
+// StoreCounters is a snapshot of a store's effectiveness counters.
+type StoreCounters struct {
+	// Solves counts cache misses that ran a real solve (each distinct key is
+	// solved at most once per store thanks to single-flight deduplication).
+	Solves int64 `json:"solves"`
+	// Hits counts solves answered from memory, including callers that waited
+	// on an in-flight computation of the same key.
+	Hits int64 `json:"hits"`
+	// DiskHits counts solves answered from the on-disk cache (a warm
+	// -cache-dir run reports Solves == 0 and DiskHits > 0).
+	DiskHits int64 `json:"diskHits"`
+}
+
+func (c StoreCounters) String() string {
+	return fmt.Sprintf("solves=%d hits=%d disk=%d", c.Solves, c.Hits, c.DiskHits)
+}
+
+// PlacementStore is a content-addressed cache of placement solves shared by
+// every experiment: the canonical key covers everything that determines a
+// solution (network size, link limit, bandwidth budget, packet mix, timing
+// parameters, objective weights, algorithm, seed and annealing budget), so
+// two solves with the same key are bit-identical and the second one can be
+// answered from the store.
+//
+// The store is an in-memory map with optional on-disk persistence (one JSON
+// file per key under Dir). Lookups of a key being computed block until the
+// computation finishes (single-flight), which is what makes a parallel
+// `expbench -exp all` issue each distinct solve exactly once. Corrupt or
+// mismatched disk entries are treated as misses, never as errors. All methods
+// are safe for concurrent use.
+type PlacementStore struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[string]StoredPlacement
+	inflight map[string]chan struct{}
+	counters StoreCounters
+}
+
+// NewPlacementStore returns a store; dir == "" keeps it memory-only, any
+// other value also persists entries under dir (created if missing).
+func NewPlacementStore(dir string) (*PlacementStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: placement store dir: %w", err)
+		}
+	}
+	return &PlacementStore{
+		dir:      dir,
+		mem:      make(map[string]StoredPlacement),
+		inflight: make(map[string]chan struct{}),
+	}, nil
+}
+
+// Dir returns the on-disk directory, or "" for a memory-only store.
+func (st *PlacementStore) Dir() string { return st.dir }
+
+// Counters returns a snapshot of the effectiveness counters.
+func (st *PlacementStore) Counters() StoreCounters {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.counters
+}
+
+// Len returns the number of cached entries in memory.
+func (st *PlacementStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.mem)
+}
+
+// GetOrCompute answers the canonical key from cache, or runs compute exactly
+// once per key (concurrent callers of the same key wait and share the
+// result). A failed compute caches nothing — the error propagates to every
+// waiter and a later call retries, so a cancelled run never poisons the
+// store. The bool reports whether the result came from cache.
+func (st *PlacementStore) GetOrCompute(key string, compute func() (StoredPlacement, error)) (StoredPlacement, bool, error) {
+	addr := keyAddress(key)
+	st.mu.Lock()
+	for {
+		if sp, ok := st.mem[addr]; ok {
+			st.counters.Hits++
+			st.mu.Unlock()
+			return sp, true, nil
+		}
+		fl, ok := st.inflight[addr]
+		if !ok {
+			break
+		}
+		// Someone is solving this key right now: wait, then re-check. If the
+		// compute failed nothing was cached and we take over.
+		st.mu.Unlock()
+		<-fl
+		st.mu.Lock()
+	}
+	if sp, ok := st.loadDisk(addr, key); ok {
+		st.mem[addr] = sp
+		st.counters.Hits++
+		st.counters.DiskHits++
+		st.mu.Unlock()
+		return sp, true, nil
+	}
+	fl := make(chan struct{})
+	st.inflight[addr] = fl
+	st.counters.Solves++
+	st.mu.Unlock()
+
+	sp, err := compute()
+
+	st.mu.Lock()
+	delete(st.inflight, addr)
+	if err == nil {
+		st.mem[addr] = sp
+		st.saveDisk(addr, key, sp)
+	}
+	close(fl)
+	st.mu.Unlock()
+	if err != nil {
+		return StoredPlacement{}, false, err
+	}
+	return sp, false, nil
+}
+
+// keyAddress derives the content address (SHA-256 of the canonical key
+// preimage) used as map key and disk file name.
+func keyAddress(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// diskEntry is the persisted form: the full key preimage rides along so a
+// load can verify the entry answers exactly the question being asked (guards
+// against truncated writes, manual edits and — in principle — collisions).
+type diskEntry struct {
+	Key       string          `json:"key"`
+	Placement StoredPlacement `json:"placement"`
+}
+
+func (st *PlacementStore) path(addr string) string {
+	return filepath.Join(st.dir, addr+".json")
+}
+
+// loadDisk reads and validates one entry; every failure mode is a miss.
+// Called with st.mu held.
+func (st *PlacementStore) loadDisk(addr, key string) (StoredPlacement, bool) {
+	if st.dir == "" {
+		return StoredPlacement{}, false
+	}
+	buf, err := os.ReadFile(st.path(addr))
+	if err != nil {
+		return StoredPlacement{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(buf, &e); err != nil {
+		return StoredPlacement{}, false
+	}
+	if e.Key != key {
+		return StoredPlacement{}, false
+	}
+	sp := e.Placement
+	if sp.N < 1 || sp.C < 1 || sp.Evals < 0 {
+		return StoredPlacement{}, false
+	}
+	if err := sp.Row().Validate(sp.C); err != nil {
+		return StoredPlacement{}, false
+	}
+	return sp, true
+}
+
+// saveDisk persists one entry atomically (write to a temp file, then
+// rename); persistence failures are ignored — the cache is an accelerator,
+// not a system of record. Called with st.mu held.
+func (st *PlacementStore) saveDisk(addr, key string, sp StoredPlacement) {
+	if st.dir == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(diskEntry{Key: key, Placement: sp}, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(st.dir, addr+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(buf, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), st.path(addr)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// ---- canonical key derivation ----
+
+// fnum formats a float with the shortest representation that round-trips,
+// so the preimage is canonical for every representable value.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// configKey writes the solver-wide key fields shared by row and line solves:
+// everything on the Solver that can change a solution. Workers is explicitly
+// excluded — output is bit-identical for any worker count.
+func (s *Solver) configKey(b *strings.Builder) {
+	b.WriteString(storeVersion)
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "n=%d\n", s.Cfg.N)
+	fmt.Fprintf(b, "params=%s,%s,%s\n",
+		fnum(s.Cfg.Params.RouterDelay), fnum(s.Cfg.Params.LinkDelay), fnum(s.Cfg.Params.Contention))
+	b.WriteString("mix=")
+	for i, c := range s.Cfg.Mix {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(b, "%s:%d:%s", c.Name, c.Bits, fnum(c.Frac))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "bw=%d,%d,%d\n", s.Cfg.BW.BaseWidth, s.Cfg.BW.MaxWidth, s.Cfg.BW.MinWidth)
+	fmt.Fprintf(b, "worst=%s\n", fnum(s.WorstWeight))
+	fmt.Fprintf(b, "seed=%d\n", s.Seed)
+	fmt.Fprintf(b, "sched=%s,%d,%d,%s,%d\n",
+		fnum(s.Sched.T0), s.Sched.Moves, s.Sched.CoolEvery, fnum(s.Sched.CoolDiv), s.Sched.StopAfterNoImprove)
+}
+
+// rowKey is the canonical preimage for the uniform row solve P̃(n, C).
+func (s *Solver) rowKey(c int, algo Algorithm) string {
+	var b strings.Builder
+	s.configKey(&b)
+	fmt.Fprintf(&b, "kind=row\nalgo=%s\nc=%d\n", algo, c)
+	return b.String()
+}
+
+// lineKey is the canonical preimage for one weighted line solve of
+// SolveWeighted: the row key plus the line's weight matrix and its RNG salt
+// (two lines with identical weights still draw from distinct streams, so the
+// salt is part of what determines the output).
+func (s *Solver) lineKey(c int, algo Algorithm, w [][]float64, salt int64) string {
+	var b strings.Builder
+	s.configKey(&b)
+	fmt.Fprintf(&b, "kind=line\nalgo=%s\nc=%d\nsalt=%d\nweights=", algo, c, salt)
+	for i, row := range w {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(fnum(v))
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

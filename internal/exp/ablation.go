@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"explink/internal/anneal"
 	"explink/internal/model"
@@ -68,18 +67,17 @@ func AblationGenerator(o Options) (GeneratorResult, error) {
 	return out, nil
 }
 
-// Render formats the generator ablation.
-func (r GeneratorResult) Render() string {
-	t := stats.NewTable(
+// Report formats the generator ablation.
+func (r GeneratorResult) Report() *stats.Report {
+	rep := stats.NewReport("abgen")
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Ablation (Section 4.4.2): candidate generators on P(%d,%d), row-mean head latency", r.N, r.C),
-		"moves", "matrix SA", "naive SA", "naive invalid %", "matrix evals", "naive evals")
+		"moves", "matrix SA", "naive SA", "naive invalid %", "matrix evals", "naive evals"))
 	for _, p := range r.Points {
 		t.AddRowf(p.Moves, p.MatrixObj, p.NaiveObj,
 			fmt.Sprintf("%.1f", 100*p.NaiveInvalid), p.MatrixEvals, p.NaiveEvals)
 	}
-	var b strings.Builder
-	b.WriteString(t.String())
-	b.WriteString("every connection-matrix move is feasible by construction; the naive raw-space\n")
-	b.WriteString("generator wastes the printed fraction of its budget on infeasible candidates.\n")
-	return b.String()
+	t.AddNote("every connection-matrix move is feasible by construction; the naive raw-space\n" +
+		"generator wastes the printed fraction of its budget on infeasible candidates.")
+	return rep
 }

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"explink/internal/sim"
 	"explink/internal/stats"
@@ -75,17 +74,19 @@ func AblationRouting(o Options) (RoutingResult, error) {
 	return out, nil
 }
 
-// Render formats the routing ablation.
-func (r RoutingResult) Render() string {
-	t := stats.NewTable(
+// Report formats the routing ablation.
+func (r RoutingResult) Report() *stats.Report {
+	rep := stats.NewReport("abroute")
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Ablation (Section 4.2): XY vs O1TURN routing on %dx%d, UR traffic", r.N, r.N),
-		"scheme", "rate", "XY latency", "O1TURN latency", "diff %")
+		"scheme", "rate", "XY latency", "O1TURN latency", "diff %"))
 	for _, p := range r.Points {
 		t.AddRow(p.Scheme, fmt.Sprintf("%.3f", p.Rate),
 			fmt.Sprintf("%.2f", p.XYLat), fmt.Sprintf("%.2f", p.O1Lat),
 			fmt.Sprintf("%+.2f", p.DiffPct))
 	}
-	return t.String() + "the paper adopts dimension-order routing because this difference is negligible\nat application loads (Section 4.2).\n"
+	t.AddNote("the paper adopts dimension-order routing because this difference is negligible\nat application loads (Section 4.2).")
+	return rep
 }
 
 // BypassPoint compares the four designs at one offered load.
@@ -147,15 +148,16 @@ func AblationBypass(o Options) (BypassResult, error) {
 	return out, nil
 }
 
-// Render formats the bypass ablation.
-func (r BypassResult) Render() string {
+// Report formats the bypass ablation.
+func (r BypassResult) Report() *stats.Report {
+	rep := stats.NewReport("abbypass")
 	header := []string{"design"}
 	for _, rate := range r.Rates {
 		header = append(header, fmt.Sprintf("latency @ %.2f", rate))
 	}
-	t := stats.NewTable(
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Ablation (Section 2.1): physical express links vs pipeline bypass (%dx%d, UR)", r.N, r.N),
-		header...)
+		header...))
 	for _, p := range r.Points {
 		row := []string{p.Name}
 		for _, l := range p.Latencies {
@@ -163,11 +165,9 @@ func (r BypassResult) Render() string {
 		}
 		t.AddRow(row...)
 	}
-	var b strings.Builder
-	b.WriteString(t.String())
-	b.WriteString("an idealized bypass keeps 256-bit links (no serialization penalty), so at\n")
-	b.WriteString("near-zero load it rivals physical express links — the virtual-vs-physical\n")
-	b.WriteString("tie of Section 2.1. Under load the bypass fades (busy routers disable it)\n")
-	b.WriteString("while express links keep their advantage; the two techniques compose.\n")
-	return b.String()
+	t.AddNote("an idealized bypass keeps 256-bit links (no serialization penalty), so at\n" +
+		"near-zero load it rivals physical express links — the virtual-vs-physical\n" +
+		"tie of Section 2.1. Under load the bypass fades (busy routers disable it)\n" +
+		"while express links keep their advantage; the two techniques compose.")
+	return rep
 }

@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"strings"
 	"testing"
 )
 
 func TestAblationGenerator(t *testing.T) {
-	r, err := AblationGenerator(QuickOptions())
+	r, err := AblationGenerator(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,13 +31,10 @@ func TestAblationGenerator(t *testing.T) {
 	if last.MatrixObj > last.NaiveObj*1.03 {
 		t.Fatalf("matrix %g clearly worse than naive %g", last.MatrixObj, last.NaiveObj)
 	}
-	if !strings.Contains(r.Render(), "naive invalid %") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestAblationRouting(t *testing.T) {
-	r, err := AblationRouting(QuickOptions())
+	r, err := AblationRouting(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,13 +48,10 @@ func TestAblationRouting(t *testing.T) {
 			t.Fatalf("%s at %.3f: XY vs O1TURN differ by %.1f%%", p.Scheme, p.Rate, p.DiffPct)
 		}
 	}
-	if !strings.Contains(r.Render(), "O1TURN") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestAblationBypass(t *testing.T) {
-	r, err := AblationBypass(QuickOptions())
+	r, err := AblationBypass(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +79,5 @@ func TestAblationBypass(t *testing.T) {
 		if byName["D&C_SA+bypass"][i] > byName["D&C_SA"][i]+1e-9 {
 			t.Fatalf("bypass hurt the express design at rate %.2f", r.Rates[i])
 		}
-	}
-	if !strings.Contains(r.Render(), "bypass") {
-		t.Fatal("render broken")
 	}
 }

@@ -96,11 +96,12 @@ func AppSpec(o Options) (AppSpecResult, error) {
 	return out, nil
 }
 
-// Render formats the per-benchmark comparison.
-func (r AppSpecResult) Render() string {
-	t := stats.NewTable(
+// Report formats the per-benchmark comparison.
+func (r AppSpecResult) Report() *stats.Report {
+	rep := stats.NewReport("appspec")
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Section 5.6.4 (%dx%d, C=%d): application-specific re-optimization", r.N, r.N, r.C),
-		"benchmark", "generic L", "app-specific L", "extra reduction %", "evals")
+		"benchmark", "generic L", "app-specific L", "extra reduction %", "evals"))
 	for _, row := range r.Rows {
 		t.AddRow(row.Benchmark,
 			fmt.Sprintf("%.2f", row.Generic),
@@ -108,5 +109,6 @@ func (r AppSpecResult) Render() string {
 			fmt.Sprintf("%.1f", row.ExtraPct),
 			fmt.Sprintf("%d", row.Evals))
 	}
-	return t.String() + fmt.Sprintf("average additional reduction: %.1f%% (paper: 18.1%%)\n", r.Avg)
+	t.AddNotef("average additional reduction: %.1f%% (paper: 18.1%%)", r.Avg)
+	return rep
 }

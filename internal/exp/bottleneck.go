@@ -62,11 +62,12 @@ func Bottleneck(o Options) (BottleneckResult, error) {
 	return out, nil
 }
 
-// Render formats the bottleneck analysis.
-func (r BottleneckResult) Render() string {
-	t := stats.NewTable(
+// Report formats the bottleneck analysis.
+func (r BottleneckResult) Report() *stats.Report {
+	rep := stats.NewReport("bottleneck")
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Bottleneck analysis (Section 5.4): channel load distribution, %dx%d UR at %.2f", r.N, r.N, r.Rate),
-		"scheme", "channels", "max util", "mean util", "load gini", "latency")
+		"scheme", "channels", "max util", "mean util", "load gini", "latency"))
 	for _, row := range r.Rows {
 		t.AddRow(row.Scheme,
 			fmt.Sprintf("%d", row.Summary.Channels),
@@ -75,16 +76,16 @@ func (r BottleneckResult) Render() string {
 			fmt.Sprintf("%.3f", row.Summary.Gini),
 			fmt.Sprintf("%.2f", row.Latency))
 	}
-	var b strings.Builder
-	b.WriteString(t.String())
 	for _, row := range r.Rows {
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s busiest channels:\n", row.Scheme)
 		for _, c := range row.Top {
 			fmt.Fprintf(&b, "  %s\n", c.String())
 		}
 		fmt.Fprintf(&b, "%s %s", row.Scheme, row.Heatmap)
+		t.AddNote(b.String())
 	}
-	b.WriteString("the HFB's hottest links sit on the quadrant boundary — the bottleneck the\n")
-	b.WriteString("paper blames for its sub-half-mesh throughput in Fig. 8(b).\n")
-	return b.String()
+	t.AddNote("the HFB's hottest links sit on the quadrant boundary — the bottleneck the\n" +
+		"paper blames for its sub-half-mesh throughput in Fig. 8(b).")
+	return rep
 }

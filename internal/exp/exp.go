@@ -1,21 +1,29 @@
 // Package exp contains one driver per table and figure of the paper's
 // evaluation (Section 5). Each driver computes the same rows/series the
-// paper plots and renders them as plain-text tables; EXPERIMENTS.md records
-// the paper-vs-measured comparison.
+// paper plots and returns them as a structured stats.Report (named tables
+// plus notes and metadata) rendered by the shared stats renderer;
+// EXPERIMENTS.md records the paper-vs-measured comparison. Drivers are
+// registered declaratively — see All and Lookup in registry.go.
 //
 // Experiment index:
 //
-//	Fig5      latency vs link limit C (Mesh, HFB, OnlySA, D&C_SA, L_D, L_S)
-//	Fig6      per-PARSEC-benchmark latency on 8x8 (simulated)
-//	Fig7      placement quality vs normalized runtime (D&C_SA vs OnlySA)
-//	Fig8      synthetic-traffic latency and saturation throughput (simulated)
-//	Fig9      router power per benchmark (simulated + power model)
-//	Fig10     router static power breakdown
-//	Fig11     impact of bisection bandwidth (2KGb/s vs 8KGb/s)
-//	Fig12     D&C_SA vs exhaustive optimal (latency and runtime ratio)
-//	Table2    maximum zero-load latency
-//	AppSpec   application-specific re-optimization (Section 5.6.4)
-//	Headline  the Section 5.2 reduction percentages
+//	fig5        latency vs link limit C (Mesh, HFB, OnlySA, D&C_SA, L_D, L_S)
+//	fig6        per-PARSEC-benchmark latency on 8x8 (simulated)
+//	fig7        placement quality vs normalized runtime
+//	fig8        synthetic traffic latency and throughput (simulated)
+//	fig9        router power per benchmark (simulated + power model)
+//	fig10       router static power breakdown
+//	fig11       impact of bisection bandwidth (2K vs 8K Gb/s)
+//	fig12       D&C_SA vs exhaustive optimal
+//	table2      maximum zero-load packet latency
+//	appspec     application-specific re-optimization (Section 5.6.4)
+//	abgen       ablation: connection-matrix vs naive SA candidate generator (Section 4.4.2)
+//	abroute     ablation: XY vs O1TURN routing (Section 4.2)
+//	abbypass    ablation: physical express links vs pipeline bypass (Section 2.1)
+//	bottleneck  channel-load analysis behind Fig. 8b's throughput gap (Section 5.4)
+//	robust      extension: latency degradation under express-link failures
+//	loadlat     load-latency curves connecting Fig. 8a and Fig. 8b
+//	microarch   router sensitivity: VC count (Section 2.2) and buffer budget (Section 4.6)
 package exp
 
 import (
@@ -40,6 +48,11 @@ type Options struct {
 	// Audit runs every simulation with the per-cycle invariant auditor
 	// enabled (sim.Config.Audit); results are bit-identical, just slower.
 	Audit bool
+	// Store, when non-nil, is attached to every solver the experiments build,
+	// so placement solves shared across experiments (and across repeated runs
+	// with an on-disk store) are computed exactly once. Results are
+	// bit-identical with or without a store.
+	Store *core.PlacementStore
 }
 
 // DefaultOptions runs experiments at full fidelity.
@@ -57,7 +70,7 @@ func (o Options) ctx() context.Context {
 }
 
 // solverFor builds a solver for an n x n network with the experiment's SA
-// budget.
+// budget, routed through the shared placement store when one is set.
 func (o Options) solverFor(n int) *core.Solver {
 	s := core.NewSolver(model.DefaultConfig(n))
 	s.Seed = o.Seed
@@ -66,6 +79,7 @@ func (o Options) solverFor(n int) *core.Solver {
 	} else {
 		s.Sched = anneal.DefaultSchedule()
 	}
+	s.Store = o.Store
 	return s
 }
 

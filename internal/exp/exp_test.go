@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"strings"
 	"testing"
 )
 
 func TestFig5(t *testing.T) {
-	r, err := Fig5(QuickOptions())
+	r, err := Fig5(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,16 +40,10 @@ func TestFig5(t *testing.T) {
 			}
 		}
 	}
-	out := r.Render()
-	for _, want := range []string{"Fig.5", "D&C_SA", "OnlySA", "best:"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("render missing %q", want)
-		}
-	}
 }
 
 func TestFig5Headlines(t *testing.T) {
-	r, err := Fig5(QuickOptions())
+	r, err := Fig5(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +66,7 @@ func TestFig5Headlines(t *testing.T) {
 }
 
 func TestFig7(t *testing.T) {
-	r, err := Fig7(QuickOptions())
+	r, err := Fig7(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,13 +93,10 @@ func TestFig7(t *testing.T) {
 	if last.DCSA > last.OnlySA*1.02 {
 		t.Fatalf("final budget: D&C_SA %g well above OnlySA %g", last.DCSA, last.OnlySA)
 	}
-	if !strings.Contains(r.Render(), "Fig.7") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestFig11(t *testing.T) {
-	r, err := Fig11(QuickOptions())
+	r, err := Fig11(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +114,10 @@ func TestFig11(t *testing.T) {
 	if dcsaGain <= meshGain {
 		t.Fatalf("D&C_SA gain %.1f%% not above mesh gain %.1f%%", dcsaGain, meshGain)
 	}
-	if !strings.Contains(r.Render(), "bandwidth 4x") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestFig12(t *testing.T) {
-	r, err := Fig12(QuickOptions())
+	r, err := Fig12(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,13 +136,10 @@ func TestFig12(t *testing.T) {
 			t.Fatalf("P(%d,%d): missing eval counts", c.N, c.C)
 		}
 	}
-	if !strings.Contains(r.Render(), "runtime ratio") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestTable2(t *testing.T) {
-	r, err := Table2(QuickOptions())
+	r, err := Table2(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,13 +155,10 @@ func TestTable2(t *testing.T) {
 			t.Fatalf("%dx%d: D&C_SA worst case %g did not beat HFB %g", row.N, row.N, row.DCSA, row.HFB)
 		}
 	}
-	if !strings.Contains(r.Render(), "Table 2") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestAppSpec(t *testing.T) {
-	r, err := AppSpec(QuickOptions())
+	r, err := AppSpec(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,8 +172,5 @@ func TestAppSpec(t *testing.T) {
 	}
 	if r.Avg <= 0 {
 		t.Fatalf("no average gain: %g", r.Avg)
-	}
-	if !strings.Contains(r.Render(), "18.1%") {
-		t.Fatal("render broken")
 	}
 }

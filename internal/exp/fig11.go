@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"explink/internal/core"
 	"explink/internal/model"
@@ -75,26 +74,25 @@ func Fig11(o Options) (Fig11Result, error) {
 	return out, nil
 }
 
-// Render formats one table per bandwidth scenario plus the comparison the
+// Report formats one table per bandwidth scenario plus the comparison the
 // paper calls out (how much each design improves when bandwidth quadruples).
-func (r Fig11Result) Render() string {
-	var b strings.Builder
+func (r Fig11Result) Report() *stats.Report {
+	rep := stats.NewReport("fig11")
 	for _, sc := range r.Scenarios {
-		t := stats.NewTable(
+		t := rep.Add(stats.NewTable(
 			fmt.Sprintf("Fig.11 (8x8, %s bisection, base width %db): latency vs C [Mesh=%.2f, HFB=%.2f]",
 				sc.Label, sc.BaseWidth, sc.Mesh, sc.HFB),
-			"C", "width(b)", "D&C_SA")
+			"C", "width(b)", "D&C_SA"))
 		for _, p := range sc.Points {
 			t.AddRowf(p.C, p.Width, p.DCSA)
 		}
-		b.WriteString(t.String())
-		fmt.Fprintf(&b, "best: C=%d L=%.2f\n\n", sc.BestC, sc.BestL)
+		t.AddNotef("best: C=%d L=%.2f", sc.BestC, sc.BestL)
 	}
 	if len(r.Scenarios) == 2 {
 		lo, hi := r.Scenarios[0], r.Scenarios[1]
-		fmt.Fprintf(&b, "bandwidth 4x: mesh %.2f -> %.2f (%.1f%%), D&C_SA %.2f -> %.2f (%.1f%%)\n",
+		rep.Notef("bandwidth 4x: mesh %.2f -> %.2f (%.1f%%), D&C_SA %.2f -> %.2f (%.1f%%)",
 			lo.Mesh, hi.Mesh, pct(lo.Mesh, hi.Mesh),
 			lo.BestL, hi.BestL, pct(lo.BestL, hi.BestL))
 	}
-	return b.String()
+	return rep
 }

@@ -71,14 +71,15 @@ func Fig12(o Options) (Fig12Result, error) {
 	return out, nil
 }
 
-// Render formats the comparison as a table.
-func (r Fig12Result) Render() string {
-	t := stats.NewTable("Fig.12: D&C_SA vs exhaustive optimal",
-		"P(n,C)", "D&C_SA L", "optimal L", "gap %", "D&C_SA evals", "opt evals", "runtime ratio")
+// Report formats the comparison as a table.
+func (r Fig12Result) Report() *stats.Report {
+	rep := stats.NewReport("fig12")
+	t := rep.Add(stats.NewTable("Fig.12: D&C_SA vs exhaustive optimal",
+		"P(n,C)", "D&C_SA L", "optimal L", "gap %", "D&C_SA evals", "opt evals", "runtime ratio"))
 	for _, c := range r.Cases {
 		t.AddRowf(fmt.Sprintf("P(%d,%d)", c.N, c.C), c.DCSALatency, c.OptLatency,
 			fmt.Sprintf("%.2f", c.GapPct), c.DCSAEvals, c.OptEvals,
 			fmt.Sprintf("%.1fx", c.RuntimeRatio))
 	}
-	return t.String()
+	return rep
 }

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"explink/internal/core"
 	"explink/internal/stats"
@@ -86,22 +85,26 @@ func Fig5(o Options) (Fig5Result, error) {
 	return out, nil
 }
 
-// Render formats the curves as one table per network size.
-func (r Fig5Result) Render() string {
-	var b strings.Builder
+// Report formats the curves as one table per network size, with the
+// Section 5.2 headline reductions as report notes.
+func (r Fig5Result) Report() *stats.Report {
+	rep := stats.NewReport("fig5")
 	for _, s := range r.Sizes {
-		t := stats.NewTable(
+		t := rep.Add(stats.NewTable(
 			fmt.Sprintf("Fig.5 (%dx%d): avg packet latency vs link limit C [Mesh=%.2f, HFB(C=%d)=%.2f]",
 				s.N, s.N, s.Mesh, s.HFBC, s.HFB),
-			"C", "width(b)", "D&C_SA", "OnlySA", "L_D", "L_S")
+			"C", "width(b)", "D&C_SA", "OnlySA", "L_D", "L_S"))
 		for _, p := range s.Points {
 			t.AddRowf(p.C, p.Width, p.DCSA, p.OnlySA, p.HeadD, p.SerD)
 		}
-		b.WriteString(t.String())
-		fmt.Fprintf(&b, "best: C=%d L=%.2f (%.1f%% vs Mesh, %.1f%% vs HFB)\n\n",
+		t.AddNotef("best: C=%d L=%.2f (%.1f%% vs Mesh, %.1f%% vs HFB)",
 			s.BestC, s.BestL, pct(s.Mesh, s.BestL), pct(s.HFB, s.BestL))
 	}
-	return b.String()
+	for _, h := range r.Headlines() {
+		rep.Notef("headline %dx%d: %.1f%% vs Mesh, %.1f%% vs HFB, OnlySA +%.1f%%",
+			h.N, h.N, h.VsMesh, h.VsHFB, h.OnlySAOver)
+	}
+	return rep
 }
 
 // Headline extracts the Section 5.2 comparison numbers from the Fig. 5 data:

@@ -126,14 +126,15 @@ func (r Fig6Result) Average() []float64 {
 	return avg
 }
 
-// Render formats the per-benchmark latency table.
-func (r Fig6Result) Render() string {
+// Report formats the per-benchmark latency table.
+func (r Fig6Result) Report() *stats.Report {
+	rep := stats.NewReport("fig6")
 	header := []string{"benchmark"}
 	for _, s := range r.Schemes {
 		header = append(header, fmt.Sprintf("%s(C=%d)", s.Name, s.C))
 	}
 	header = append(header, "D&C_SA vs Mesh %")
-	t := stats.NewTable(fmt.Sprintf("Fig.6 (%dx%d): avg packet latency per PARSEC benchmark (cycles, simulated)", r.N, r.N), header...)
+	t := rep.Add(stats.NewTable(fmt.Sprintf("Fig.6 (%dx%d): avg packet latency per PARSEC benchmark (cycles, simulated)", r.N, r.N), header...))
 	for bi, row := range r.Cells {
 		cells := []string{r.Names[bi]}
 		for _, c := range row {
@@ -149,5 +150,5 @@ func (r Fig6Result) Render() string {
 	}
 	avgRow = append(avgRow, fmt.Sprintf("%.1f", pct(avg[0], avg[len(avg)-1])))
 	t.AddRow(avgRow...)
-	return t.String()
+	return rep
 }

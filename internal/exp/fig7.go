@@ -3,7 +3,6 @@ package exp
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"explink/internal/anneal"
 	"explink/internal/dnc"
@@ -148,19 +147,17 @@ func boolToU64(b bool) uint64 {
 	return 0
 }
 
-// Render formats one table per network size.
-func (r Fig7Result) Render() string {
-	var b strings.Builder
+// Report formats one table per network size.
+func (r Fig7Result) Report() *stats.Report {
+	rep := stats.NewReport("fig7")
 	for _, c := range r.Curves {
-		t := stats.NewTable(
+		t := rep.Add(stats.NewTable(
 			fmt.Sprintf("Fig.7 (%dx%d): best latency vs normalized runtime [unit = I(%d,%d) = %d evals]",
 				c.N, c.N, c.N, c.C, c.InitEvals),
-			"runtime", "D&C_SA", "OnlySA")
+			"runtime", "D&C_SA", "OnlySA"))
 		for _, p := range c.Points {
 			t.AddRowf(fmt.Sprintf("%.0f", p.Budget), p.DCSA, p.OnlySA)
 		}
-		b.WriteString(t.String())
-		b.WriteString("\n")
 	}
-	return b.String()
+	return rep
 }

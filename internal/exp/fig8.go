@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 
 	"explink/internal/sim"
@@ -128,9 +127,9 @@ func (r Fig8Result) Averages() (lat, thr []float64) {
 	return lat, thr
 }
 
-// Render formats the two panels as tables.
-func (r Fig8Result) Render() string {
-	var b strings.Builder
+// Report formats the two panels as tables.
+func (r Fig8Result) Report() *stats.Report {
+	rep := stats.NewReport("fig8")
 	latT := stats.NewTable(
 		fmt.Sprintf("Fig.8a (%dx%d): avg packet latency at rate %.3f (cycles, simulated)", r.N, r.N, r.ProbeRate),
 		append([]string{"pattern"}, r.Schemes...)...)
@@ -155,8 +154,7 @@ func (r Fig8Result) Render() string {
 	}
 	latT.AddRow(latRow...)
 	thrT.AddRow(thrRow...)
-	b.WriteString(latT.String())
-	b.WriteString("\n")
-	b.WriteString(thrT.String())
-	return b.String()
+	rep.Add(latT)
+	rep.Add(thrT)
+	return rep
 }

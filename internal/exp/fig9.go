@@ -75,15 +75,16 @@ func (r Fig9Result) AverageTotals() (dyn, stat, total []float64) {
 	return dyn, stat, total
 }
 
-// Render formats the normalized power table of Fig. 9.
-func (r Fig9Result) Render() string {
+// Report formats the normalized power table of Fig. 9.
+func (r Fig9Result) Report() *stats.Report {
+	rep := stats.NewReport("fig9")
 	header := []string{"benchmark"}
 	for _, s := range r.Schemes {
 		header = append(header, s.Name+"(s)", s.Name+"(d)")
 	}
-	t := stats.NewTable(
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Fig.9 (%dx%d): router power per benchmark, normalized to the Mesh total", r.N, r.N),
-		header...)
+		header...))
 	for bi, row := range r.Cells {
 		meshTotal := row[0].Report.Total()
 		cells := []string{r.Names[bi]}
@@ -96,7 +97,6 @@ func (r Fig9Result) Render() string {
 	}
 	dyn, stat, total := r.AverageTotals()
 	var b strings.Builder
-	b.WriteString(t.String())
 	b.WriteString("average watts: ")
 	for i, s := range r.Schemes {
 		fmt.Fprintf(&b, "%s dyn=%.3f static=%.3f total=%.3f", s.Name, dyn[i], stat[i], total[i])
@@ -104,13 +104,13 @@ func (r Fig9Result) Render() string {
 			b.WriteString(" | ")
 		}
 	}
-	b.WriteString("\n")
+	t.AddNote(b.String())
 	if len(total) == 3 {
-		fmt.Fprintf(&b, "total power: D&C_SA vs Mesh %.1f%%, vs HFB %.1f%%; dynamic: vs Mesh %.1f%%, vs HFB %.1f%%\n",
+		t.AddNotef("total power: D&C_SA vs Mesh %.1f%%, vs HFB %.1f%%; dynamic: vs Mesh %.1f%%, vs HFB %.1f%%",
 			pct(total[0], total[2]), pct(total[1], total[2]),
 			pct(dyn[0], dyn[2]), pct(dyn[1], dyn[2]))
 	}
-	return b.String()
+	return rep
 }
 
 // Fig10Result reproduces Figure 10: the router static power breakdown
@@ -140,10 +140,11 @@ func Fig10(o Options) (Fig10Result, error) {
 	return out, nil
 }
 
-// Render formats the breakdown table.
-func (r Fig10Result) Render() string {
-	t := stats.NewTable("Fig.10 (8x8): router static power breakdown (W, network total)",
-		"scheme", "buffer", "crossbar", "other", "total")
+// Report formats the breakdown table.
+func (r Fig10Result) Report() *stats.Report {
+	rep := stats.NewReport("fig10")
+	t := rep.Add(stats.NewTable("Fig.10 (8x8): router static power breakdown (W, network total)",
+		"scheme", "buffer", "crossbar", "other", "total"))
 	for i, s := range r.Schemes {
 		total := r.Buffer[i] + r.Xbar[i] + r.Other[i]
 		t.AddRow(s,
@@ -152,5 +153,5 @@ func (r Fig10Result) Render() string {
 			fmt.Sprintf("%.3f", r.Other[i]),
 			fmt.Sprintf("%.3f", total))
 	}
-	return t.String()
+	return rep
 }

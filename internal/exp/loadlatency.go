@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"explink/internal/sim"
 	"explink/internal/stats"
@@ -72,11 +71,12 @@ func LoadLatency(o Options) (LoadLatencyResult, error) {
 	return out, nil
 }
 
-// Render formats the curves as a table; unstable points are marked.
-func (r LoadLatencyResult) Render() string {
-	t := stats.NewTable(
+// Report formats the curves as a table; unstable points are marked.
+func (r LoadLatencyResult) Report() *stats.Report {
+	rep := stats.NewReport("loadlat")
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Load-latency curves (%dx%d, %s): avg packet latency vs offered rate", r.N, r.N, r.Pattern),
-		append([]string{"rate"}, r.Schemes...)...)
+		append([]string{"rate"}, r.Schemes...)...))
 	for _, p := range r.Points {
 		row := []string{fmt.Sprintf("%.3f", p.Rate)}
 		for i, l := range p.Latencies {
@@ -88,8 +88,6 @@ func (r LoadLatencyResult) Render() string {
 		}
 		t.AddRow(row...)
 	}
-	var b strings.Builder
-	b.WriteString(t.String())
-	b.WriteString("* network past saturation at this offered load (did not drain)\n")
-	return b.String()
+	t.AddNote("* network past saturation at this offered load (did not drain)")
+	return rep
 }

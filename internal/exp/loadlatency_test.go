@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"strings"
 	"testing"
 )
 
 func TestLoadLatency(t *testing.T) {
-	r, err := LoadLatency(QuickOptions())
+	r, err := LoadLatency(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,13 +35,10 @@ func TestLoadLatency(t *testing.T) {
 			prev = p.Latencies[si]
 		}
 	}
-	if !strings.Contains(r.Render(), "Load-latency") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestMicroarch(t *testing.T) {
-	r, err := Microarch(QuickOptions())
+	r, err := Microarch(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,8 +57,5 @@ func TestMicroarch(t *testing.T) {
 	// More VCs must not hurt the loaded latency.
 	if last := r.VCs[len(r.VCs)-1]; last.LoadedLat > r.VCs[0].LoadedLat*1.05 {
 		t.Fatalf("more VCs worsened loaded latency: %v vs %v", last, r.VCs[0])
-	}
-	if !strings.Contains(r.Render(), "virtual channels") {
-		t.Fatal("render broken")
 	}
 }

@@ -3,7 +3,6 @@ package exp
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"explink/internal/sim"
 	"explink/internal/stats"
@@ -98,24 +97,22 @@ func Microarch(o Options) (MicroarchResult, error) {
 	return out, nil
 }
 
-// Render formats both sweeps.
-func (r MicroarchResult) Render() string {
-	var b strings.Builder
-	render := func(title string, pts []MicroarchPoint) {
-		t := stats.NewTable(title, "config",
+// Report formats both sweeps.
+func (r MicroarchResult) Report() *stats.Report {
+	rep := stats.NewReport("microarch")
+	add := func(title string, pts []MicroarchPoint) {
+		t := rep.Add(stats.NewTable(title, "config",
 			fmt.Sprintf("latency @ %.2f", r.LightRate),
-			fmt.Sprintf("latency @ %.2f", r.LoadRate), "loaded run drained")
+			fmt.Sprintf("latency @ %.2f", r.LoadRate), "loaded run drained"))
 		for _, p := range pts {
 			t.AddRow(p.Label, fmt.Sprintf("%.2f", p.Latency),
 				fmt.Sprintf("%.2f", p.LoadedLat), fmt.Sprintf("%v", p.Drained))
 		}
-		b.WriteString(t.String())
-		b.WriteString("\n")
 	}
-	render(fmt.Sprintf("Router sensitivity (%dx%d D&C_SA): virtual channels (Section 2.2)", r.N, r.N), r.VCs)
-	render("Router sensitivity: total buffer budget per router (Section 4.6)", r.Buffers)
-	b.WriteString("zero-load latency is insensitive to both knobs; they matter under load,\n")
-	b.WriteString("which is why the paper equalizes buffering across schemes and assumes\n")
-	b.WriteString("multiple VCs when arguing contention stays low.\n")
-	return b.String()
+	add(fmt.Sprintf("Router sensitivity (%dx%d D&C_SA): virtual channels (Section 2.2)", r.N, r.N), r.VCs)
+	add("Router sensitivity: total buffer budget per router (Section 4.6)", r.Buffers)
+	rep.Note("zero-load latency is insensitive to both knobs; they matter under load,\n" +
+		"which is why the paper equalizes buffering across schemes and assumes\n" +
+		"multiple VCs when arguing contention stays low.")
+	return rep
 }

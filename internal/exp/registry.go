@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+
+	"explink/internal/stats"
+)
+
+// Reporter is what every experiment result implements: a conversion to the
+// shared structured report, rendered by stats.Report.Render. Drivers carry no
+// formatting logic beyond building tables and notes.
+type Reporter interface {
+	Report() *stats.Report
+}
+
+// Experiment is one registered entry of the suite: a stable name (the -exp
+// argument of cmd/expbench), a one-line description, the paper section it
+// reproduces, and the runner.
+type Experiment struct {
+	Name    string
+	Desc    string
+	Section string
+	Run     func(Options) (*stats.Report, error)
+}
+
+// reg adapts a typed driver to the registry: the driver returns its result
+// struct, the adapter converts it to a report and stamps the registry
+// identity and run metadata onto it.
+func reg[R Reporter](name, desc, section string, run func(Options) (R, error)) Experiment {
+	return Experiment{
+		Name:    name,
+		Desc:    desc,
+		Section: section,
+		Run: func(o Options) (*stats.Report, error) {
+			r, err := run(o)
+			if err != nil {
+				return nil, err
+			}
+			rep := r.Report()
+			rep.Name = name
+			rep.Title = desc
+			rep.Section = section
+			rep.SetMeta("seed", strconv.FormatUint(o.Seed, 10))
+			rep.SetMeta("quick", strconv.FormatBool(o.Quick))
+			return rep, nil
+		},
+	}
+}
+
+// registry lists every experiment in presentation order. The package doc's
+// experiment index mirrors this table verbatim (enforced by a test).
+var registry = []Experiment{
+	reg("fig5", "latency vs link limit C (Mesh, HFB, OnlySA, D&C_SA, L_D, L_S)", "Section 5.2", Fig5),
+	reg("fig6", "per-PARSEC-benchmark latency on 8x8 (simulated)", "Section 5.3", Fig6),
+	reg("fig7", "placement quality vs normalized runtime", "Section 5.3", Fig7),
+	reg("fig8", "synthetic traffic latency and throughput (simulated)", "Section 5.4", Fig8),
+	reg("fig9", "router power per benchmark (simulated + power model)", "Section 5.5", Fig9),
+	reg("fig10", "router static power breakdown", "Section 5.5", Fig10),
+	reg("fig11", "impact of bisection bandwidth (2K vs 8K Gb/s)", "Section 5.6", Fig11),
+	reg("fig12", "D&C_SA vs exhaustive optimal", "Section 5.6", Fig12),
+	reg("table2", "maximum zero-load packet latency", "Section 5.2", Table2),
+	reg("appspec", "application-specific re-optimization (Section 5.6.4)", "Section 5.6.4", AppSpec),
+	reg("abgen", "ablation: connection-matrix vs naive SA candidate generator (Section 4.4.2)", "Section 4.4.2", AblationGenerator),
+	reg("abroute", "ablation: XY vs O1TURN routing (Section 4.2)", "Section 4.2", AblationRouting),
+	reg("abbypass", "ablation: physical express links vs pipeline bypass (Section 2.1)", "Section 2.1", AblationBypass),
+	reg("bottleneck", "channel-load analysis behind Fig. 8b's throughput gap (Section 5.4)", "Section 5.4", Bottleneck),
+	reg("robust", "extension: latency degradation under express-link failures", "extension", Robustness),
+	reg("loadlat", "load-latency curves connecting Fig. 8a and Fig. 8b", "extension", LoadLatency),
+	reg("microarch", "router sensitivity: VC count (Section 2.2) and buffer budget (Section 4.6)", "Sections 2.2 and 4.6", Microarch),
+}
+
+// All returns the registered experiments in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by name (case-insensitive).
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if strings.EqualFold(e.Name, name) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

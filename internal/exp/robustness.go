@@ -127,17 +127,19 @@ func killRandomLinks(t topo.Topology, k int, rng *stats.RNG) topo.Topology {
 	return out
 }
 
-// Render formats the robustness study.
-func (r RobustnessResult) Render() string {
-	t := stats.NewTable(
+// Report formats the robustness study.
+func (r RobustnessResult) Report() *stats.Report {
+	rep := stats.NewReport("robust")
+	t := rep.Add(stats.NewTable(
 		fmt.Sprintf("Extension: express-link failures on the %dx%d D&C_SA design (C=%d), %d trials each",
 			r.N, r.N, r.C, r.Trials),
-		"failed links", "mean L_avg", "worst L_avg", "degradation %")
+		"failed links", "mean L_avg", "worst L_avg", "degradation %"))
 	for _, p := range r.Points {
 		t.AddRow(fmt.Sprintf("%d", p.Failures),
 			fmt.Sprintf("%.2f", p.Mean),
 			fmt.Sprintf("%.2f", p.Worst),
 			fmt.Sprintf("%+.2f", p.MeanPct))
 	}
-	return t.String() + fmt.Sprintf("intact design: %.2f; floor with every express link dead (locals only, same width): %.2f\n", r.Intact, r.Mesh)
+	t.AddNotef("intact design: %.2f; floor with every express link dead (locals only, same width): %.2f", r.Intact, r.Mesh)
+	return rep
 }

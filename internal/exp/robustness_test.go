@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"strings"
 	"testing"
 )
 
 func TestRobustness(t *testing.T) {
-	r, err := Robustness(QuickOptions())
+	r, err := Robustness(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,13 +31,10 @@ func TestRobustness(t *testing.T) {
 		}
 		prev = p.Mean
 	}
-	if !strings.Contains(r.Render(), "failed links") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestBottleneck(t *testing.T) {
-	r, err := Bottleneck(QuickOptions())
+	r, err := Bottleneck(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +59,5 @@ func TestBottleneck(t *testing.T) {
 	}
 	if dcsa.Summary.Gini >= hfb.Summary.Gini {
 		t.Fatalf("D&C_SA gini %.3f not below HFB %.3f", dcsa.Summary.Gini, hfb.Summary.Gini)
-	}
-	if !strings.Contains(r.Render(), "load gini") {
-		t.Fatal("render broken")
 	}
 }

@@ -1,12 +1,11 @@
 package exp
 
 import (
-	"strings"
 	"testing"
 )
 
 func TestFig6(t *testing.T) {
-	r, err := Fig6(QuickOptions())
+	r, err := Fig6(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,13 +31,10 @@ func TestFig6(t *testing.T) {
 	if !(avg[2] < avg[1] && avg[1] < avg[0]) {
 		t.Fatalf("average ordering violated: mesh=%.2f hfb=%.2f dcsa=%.2f", avg[0], avg[1], avg[2])
 	}
-	if !strings.Contains(r.Render(), "Fig.6") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestFig8(t *testing.T) {
-	r, err := Fig8(QuickOptions())
+	r, err := Fig8(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +51,10 @@ func TestFig8(t *testing.T) {
 	if !(thr[0] > thr[2] && thr[2] > thr[1]) {
 		t.Fatalf("throughput ordering: mesh=%.4f hfb=%.4f dcsa=%.4f", thr[0], thr[1], thr[2])
 	}
-	out := r.Render()
-	if !strings.Contains(out, "Fig.8a") || !strings.Contains(out, "Fig.8b") {
-		t.Fatal("render broken")
-	}
 }
 
 func TestFig9And10(t *testing.T) {
-	f6, err := Fig6(QuickOptions())
+	f6, err := Fig6(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,19 +80,13 @@ func TestFig9And10(t *testing.T) {
 		}
 	}
 	_ = total
-	if !strings.Contains(r.Render(), "Fig.9") {
-		t.Fatal("render broken")
-	}
 
-	f10, err := Fig10(QuickOptions())
+	f10, err := Fig10(quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Equal buffer budgets: identical buffer leakage across schemes.
 	if f10.Buffer[0] != f10.Buffer[1] || f10.Buffer[1] != f10.Buffer[2] {
 		t.Fatalf("buffer static differs: %v", f10.Buffer)
-	}
-	if !strings.Contains(f10.Render(), "Fig.10") {
-		t.Fatal("render broken")
 	}
 }

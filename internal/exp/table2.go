@@ -69,13 +69,14 @@ func Table2(o Options) (Table2Result, error) {
 	return out, nil
 }
 
-// Render formats the table in the paper's layout (topologies as rows).
-func (r Table2Result) Render() string {
+// Report formats the table in the paper's layout (topologies as rows).
+func (r Table2Result) Report() *stats.Report {
+	rep := stats.NewReport("table2")
 	header := []string{"Topology"}
 	for _, row := range r.Rows {
 		header = append(header, fmt.Sprintf("%dx%d", row.N, row.N))
 	}
-	t := stats.NewTable("Table 2: maximum zero-load packet latency (cycles)", header...)
+	t := rep.Add(stats.NewTable("Table 2: maximum zero-load packet latency (cycles)", header...))
 	mesh := []string{"Mesh"}
 	hfb := []string{"HFB"}
 	dcsa := []string{"D&C_SA"}
@@ -87,5 +88,5 @@ func (r Table2Result) Render() string {
 	t.AddRow(mesh...)
 	t.AddRow(hfb...)
 	t.AddRow(dcsa...)
-	return t.String()
+	return rep
 }

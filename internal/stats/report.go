@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the structured result of one experiment: named tables plus
+// free-form note lines and string metadata. It is the single output type of
+// every registered experiment driver — JSON-marshalable as-is (the schema is
+// exactly the exported fields) and rendered to plain text by the one shared
+// renderer below, so drivers assemble data instead of formatting strings.
+type Report struct {
+	// Name is the registry name of the experiment that produced the report
+	// (e.g. "fig5").
+	Name string `json:"name"`
+	// Title is the one-line description of the experiment.
+	Title string `json:"title,omitempty"`
+	// Section names the paper section or figure the experiment reproduces.
+	Section string `json:"section,omitempty"`
+	// Meta carries reproducibility metadata (seed, quick, ...). Values must
+	// be deterministic for a given configuration: encoding/json sorts the
+	// keys, so equal reports marshal to equal bytes.
+	Meta map[string]string `json:"meta,omitempty"`
+	// Tables are the report body, rendered in order.
+	Tables []*Table `json:"tables"`
+	// Notes are trailing lines rendered after every table (headline numbers,
+	// interpretation paragraphs).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// NewReport returns an empty report with the given name.
+func NewReport(name string) *Report {
+	return &Report{Name: name}
+}
+
+// Add appends a table to the report body and returns it for chaining.
+func (r *Report) Add(t *Table) *Table {
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Note appends one trailing note line.
+func (r *Report) Note(note string) {
+	r.Notes = append(r.Notes, note)
+}
+
+// Notef appends a formatted trailing note line.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// SetMeta records one metadata key; it allocates the map on first use.
+func (r *Report) SetMeta(key, value string) {
+	if r.Meta == nil {
+		r.Meta = make(map[string]string)
+	}
+	r.Meta[key] = value
+}
+
+// MetaKeys returns the metadata keys in sorted (deterministic) order.
+func (r *Report) MetaKeys() []string {
+	keys := make([]string, 0, len(r.Meta))
+	for k := range r.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render is the shared plain-text renderer: each table (with its notes)
+// separated by a blank line, then the report-level notes. Equal reports
+// render to equal bytes, which is what lets a warm placement-cache run be
+// byte-compared against a cold one.
+func (r *Report) Render() string {
+	var b strings.Builder
+	for i, t := range r.Tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		writeBlock(&b, t.String())
+	}
+	if len(r.Notes) > 0 && len(r.Tables) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		writeBlock(&b, n)
+	}
+	return b.String()
+}
+
+// JSON marshals the report with indentation and a trailing newline, the
+// on-disk format of `expbench -json -out <dir>`.
+func (r *Report) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// ReportsJSON marshals a report list as one indented JSON array with a
+// trailing newline, the stdout format of `expbench -json`. A nil or empty
+// list marshals as an empty array, never as null.
+func ReportsJSON(reports []*Report) ([]byte, error) {
+	if reports == nil {
+		reports = []*Report{}
+	}
+	buf, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport("fig0")
+	r.Title = "sample experiment"
+	r.Section = "§0"
+	r.SetMeta("seed", "1")
+	r.SetMeta("quick", "true")
+	t := r.Add(NewTable("first", "a", "b"))
+	t.AddRowf(1, 2.5)
+	t.AddNotef("best: %d", 7)
+	u := r.Add(NewTable("second", "x"))
+	u.AddRow("only")
+	r.Notef("headline %.1f%%", 12.34)
+	r.Note("multi\nline\n")
+	return r
+}
+
+func TestReportRender(t *testing.T) {
+	out := sampleReport().Render()
+	for _, want := range []string{
+		"== first ==", "== second ==", "best: 7", "headline 12.3%", "multi\nline\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Table note comes right under its table, before the next table.
+	if strings.Index(out, "best: 7") > strings.Index(out, "== second ==") {
+		t.Fatalf("table note rendered out of place:\n%s", out)
+	}
+	// No double blank lines from notes that already end with a newline.
+	if strings.Contains(out, "\n\n\n") {
+		t.Fatalf("render has runaway blank lines:\n%s", out)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	buf, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, &back) {
+		t.Fatalf("round trip changed report:\n%+v\nvs\n%+v", r, &back)
+	}
+	if back.Render() != r.Render() {
+		t.Fatal("round-tripped report renders differently")
+	}
+	// Marshalling is deterministic (maps are key-sorted by encoding/json).
+	buf2, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatalf("non-deterministic JSON:\n%s\nvs\n%s", buf, buf2)
+	}
+}
+
+func TestReportMetaKeysSorted(t *testing.T) {
+	r := NewReport("x")
+	r.SetMeta("z", "1")
+	r.SetMeta("a", "2")
+	if got := r.MetaKeys(); !reflect.DeepEqual(got, []string{"a", "z"}) {
+		t.Fatalf("meta keys = %v", got)
+	}
+}
+
+func TestEmptyReportRender(t *testing.T) {
+	if out := NewReport("empty").Render(); out != "" {
+		t.Fatalf("empty report rendered %q", out)
+	}
+}

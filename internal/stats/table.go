@@ -6,22 +6,27 @@ import (
 )
 
 // Table accumulates rows of cells and renders them as an aligned plain-text
-// table, the output format of every experiment driver.
+// table, the tabular unit of every experiment report. Its fields are exported
+// (and JSON-tagged) so a Table round-trips through encoding/json unchanged;
+// Report is the usual container.
 type Table struct {
-	Title  string
-	header []string
-	rows   [][]string
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows"`
+	// Notes are free-form lines attached to the table, rendered directly
+	// under it (e.g. the "best: C=4 ..." summary of a sweep).
+	Notes []string `json:"notes,omitempty"`
 }
 
 // NewTable returns a table with the given title and column headers.
 func NewTable(title string, header ...string) *Table {
-	return &Table{Title: title, header: header}
+	return &Table{Title: title, Header: header}
 }
 
 // AddRow appends a row. Cells beyond the header width are kept; short rows
 // are padded when rendered.
 func (t *Table) AddRow(cells ...string) {
-	t.rows = append(t.rows, cells)
+	t.Rows = append(t.Rows, cells)
 }
 
 // AddRowf appends a row of formatted values: strings pass through, float64
@@ -42,15 +47,25 @@ func (t *Table) AddRowf(cells ...any) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
-	t.rows = append(t.rows, row)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends one note line (rendered under the table).
+func (t *Table) AddNote(note string) {
+	t.Notes = append(t.Notes, note)
+}
+
+// AddNotef appends a formatted note line.
+func (t *Table) AddNotef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
 // NumRows returns the number of data rows added so far.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return len(t.Rows) }
 
 // CSV renders the table as comma-separated values (header first), quoting
 // cells that contain commas or quotes, for machine-readable experiment
-// output.
+// output. Notes are not part of the CSV.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -68,19 +83,19 @@ func (t *Table) CSV() string {
 		}
 		b.WriteByte('\n')
 	}
-	if len(t.header) > 0 {
-		writeRow(t.header)
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
 	}
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		writeRow(r)
 	}
 	return b.String()
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns followed by its notes.
 func (t *Table) String() string {
-	cols := len(t.header)
-	for _, r := range t.rows {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
 		if len(r) > cols {
 			cols = len(r)
 		}
@@ -93,8 +108,8 @@ func (t *Table) String() string {
 			}
 		}
 	}
-	measure(t.header)
-	for _, r := range t.rows {
+	measure(t.Header)
+	for _, r := range t.Rows {
 		measure(r)
 	}
 	var b strings.Builder
@@ -118,8 +133,8 @@ func (t *Table) String() string {
 		}
 		b.WriteString("\n")
 	}
-	if len(t.header) > 0 {
-		writeRow(t.header)
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
 		total := 0
 		for _, w := range widths {
 			total += w
@@ -127,8 +142,20 @@ func (t *Table) String() string {
 		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
 		b.WriteString("\n")
 	}
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		writeRow(r)
 	}
+	for _, n := range t.Notes {
+		writeBlock(&b, n)
+	}
 	return b.String()
+}
+
+// writeBlock writes s and guarantees it ends with exactly one newline, so
+// multi-line notes (heatmaps, diagrams) pass through unchanged.
+func writeBlock(b *strings.Builder, s string) {
+	b.WriteString(s)
+	if !strings.HasSuffix(s, "\n") {
+		b.WriteByte('\n')
+	}
 }
