@@ -13,6 +13,8 @@
 //	expbench -quick                 # reduced budgets (seconds instead of minutes)
 //	expbench -json                  # structured JSON results instead of text
 //	expbench -cache-dir .explink    # persist placement solves across runs
+//	expbench -debug-addr :6060      # live /metrics, /debug/vars and pprof
+//	expbench -progress run.jsonl    # JSON-lines progress events
 //
 // Progress, timings and cache statistics go to stderr; stdout carries only
 // the results, so runs with identical inputs produce byte-identical stdout.
@@ -23,28 +25,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
-	"sync"
 	"syscall"
-	"time"
 
+	"explink/internal/anneal"
 	"explink/internal/core"
 	"explink/internal/exp"
+	"explink/internal/obs"
 	"explink/internal/runctl"
+	"explink/internal/sim"
 	"explink/internal/stats"
 )
-
-// outcome is one scheduled experiment's result slot.
-type outcome struct {
-	exp     exp.Experiment
-	rep     *stats.Report
-	err     error
-	elapsed time.Duration
-}
 
 // selectExperiments resolves the -exp argument ("all" or a comma-separated
 // name list) against the registry, preserving registry order and rejecting
@@ -76,30 +72,20 @@ func selectExperiments(arg string) ([]exp.Experiment, error) {
 	return sel, nil
 }
 
-// runAll executes the selected experiments on a worker pool of the given
-// width. Results land in registry order regardless of completion order; a
-// cancelled context fails the unstarted experiments quickly while finished
-// ones keep their results.
-func runAll(ctx context.Context, sel []exp.Experiment, opts exp.Options, parallel int) []outcome {
-	if parallel < 1 {
-		parallel = 1
+// progressWriter opens the -progress destination: "-" or "stderr" select
+// stderr, anything else is created (truncated) as a file. The returned closer
+// is a no-op for stderr.
+func progressWriter(dest string) (io.Writer, func() error, error) {
+	switch dest {
+	case "-", "stderr":
+		return os.Stderr, func() error { return nil }, nil
+	default:
+		f, err := os.Create(dest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
 	}
-	out := make([]outcome, len(sel))
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i, e := range sel {
-		wg.Add(1)
-		go func(i int, e exp.Experiment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			rep, err := e.Run(opts)
-			out[i] = outcome{exp: e, rep: rep, err: err, elapsed: time.Since(start)}
-		}(i, e)
-	}
-	wg.Wait()
-	return out
 }
 
 func main() {
@@ -118,6 +104,8 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "emit structured JSON results (a JSON array on stdout instead of text)")
 		cacheDir = flag.String("cache-dir", "", "persist placement solves under this directory; a warm run re-solves nothing")
 		parallel = flag.Int("parallel", 1, "run up to this many experiments concurrently (results still print in order)")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
+		progress = flag.String("progress", "", "write JSON-lines progress events to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -151,17 +139,43 @@ func run() int {
 		return 1
 	}
 
+	if *debug != "" {
+		reg := obs.NewRegistry()
+		sim.EnableMetrics(reg)
+		anneal.EnableMetrics(reg)
+		core.EnableMetrics(reg)
+		exp.EnableMetrics(reg)
+		store.Register(reg)
+		srv, err := obs.ServeDebug(*debug, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "expbench: debug server listening on http://%s\n", srv.Addr)
+	}
+
+	var events *obs.EventWriter
+	if *progress != "" {
+		w, closeFn, err := progressWriter(*progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+			return 1
+		}
+		defer closeFn()
+		events = obs.NewEventWriter(w)
+	}
+
 	opts := exp.DefaultOptions()
 	opts.Quick = *quick
 	opts.Seed = *seed
 	opts.Audit = *audit
-	opts.Ctx = ctx
 	opts.Store = store
 
 	if *parallel > runtime.GOMAXPROCS(0) {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	results := runAll(ctx, sel, opts, *parallel)
+	results := exp.RunAll(ctx, sel, opts, *parallel, events)
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -173,33 +187,33 @@ func run() int {
 	failed := 0
 	var reports []*stats.Report
 	for _, oc := range results {
-		if oc.err != nil {
+		if oc.Err != nil {
 			failed++
 			msg := "expbench %s: %v\n"
-			if errors.Is(oc.err, runctl.ErrCancelled) {
+			if errors.Is(oc.Err, runctl.ErrCancelled) {
 				msg = "expbench %s: interrupted: %v\n"
 			}
-			fmt.Fprintf(os.Stderr, msg, oc.exp.Name, oc.err)
+			fmt.Fprintf(os.Stderr, msg, oc.Exp.Name, oc.Err)
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "expbench: %s finished in %.1fs\n", oc.exp.Name, oc.elapsed.Seconds())
-		reports = append(reports, oc.rep)
-		text := oc.rep.Render()
+		fmt.Fprintf(os.Stderr, "expbench: %s finished in %.1fs\n", oc.Exp.Name, oc.Elapsed.Seconds())
+		reports = append(reports, oc.Rep)
+		text := oc.Rep.Render()
 		if !*jsonOut {
-			fmt.Printf("### %s — %s\n\n%s\n", oc.exp.Name, oc.exp.Desc, text)
+			fmt.Printf("### %s — %s\n\n%s\n", oc.Exp.Name, oc.Exp.Desc, text)
 		}
 		if *outDir != "" {
-			if err := os.WriteFile(filepath.Join(*outDir, oc.exp.Name+".txt"), []byte(text), 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(*outDir, oc.Exp.Name+".txt"), []byte(text), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
 				return 1
 			}
 			if *jsonOut {
-				buf, err := oc.rep.JSON()
+				buf, err := oc.Rep.JSON()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
 					return 1
 				}
-				if err := os.WriteFile(filepath.Join(*outDir, oc.exp.Name+".json"), buf, 0o644); err != nil {
+				if err := os.WriteFile(filepath.Join(*outDir, oc.Exp.Name+".json"), buf, 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
 					return 1
 				}

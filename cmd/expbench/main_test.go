@@ -1,14 +1,9 @@
 package main
 
 import (
-	"context"
-	"errors"
-	"strings"
 	"testing"
 
-	"explink/internal/core"
 	"explink/internal/exp"
-	"explink/internal/runctl"
 )
 
 func TestSelectExperiments(t *testing.T) {
@@ -34,63 +29,5 @@ func TestSelectExperiments(t *testing.T) {
 	}
 	if _, err := selectExperiments(" , "); err == nil {
 		t.Fatal("empty selection accepted")
-	}
-}
-
-// The scheduler keeps results in registry order, shares one placement store
-// across experiments, and reports per-experiment errors without dropping the
-// successes.
-func TestRunAllOrderAndCache(t *testing.T) {
-	sel, err := selectExperiments("fig5,table2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	store, err := core.NewPlacementStore("")
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := exp.QuickOptions()
-	opts.Store = store
-	results := runAll(context.Background(), sel, opts, 2)
-	if len(results) != 2 {
-		t.Fatalf("results = %d", len(results))
-	}
-	for i, oc := range results {
-		if oc.err != nil {
-			t.Fatalf("%s: %v", oc.exp.Name, oc.err)
-		}
-		if oc.exp.Name != sel[i].Name || oc.rep.Name != sel[i].Name {
-			t.Fatalf("slot %d holds %s/%s, want %s", i, oc.exp.Name, oc.rep.Name, sel[i].Name)
-		}
-		if !strings.Contains(oc.rep.Render(), "==") {
-			t.Fatalf("%s: suspicious render", oc.exp.Name)
-		}
-	}
-	c := store.Counters()
-	if c.Solves == 0 {
-		t.Fatal("no solves recorded")
-	}
-	// fig5 and table2 sweep the same link limits on the same sizes: the
-	// second experiment must reuse the first one's solves.
-	if c.Hits == 0 {
-		t.Fatalf("experiments did not share the cache: %v", c)
-	}
-}
-
-func TestRunAllCancelled(t *testing.T) {
-	sel, err := selectExperiments("fig5")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	opts := exp.QuickOptions()
-	opts.Ctx = ctx
-	results := runAll(ctx, sel, opts, 1)
-	if results[0].err == nil {
-		t.Fatal("cancelled run succeeded")
-	}
-	if !errors.Is(results[0].err, runctl.ErrCancelled) {
-		t.Fatalf("error not in the cancellation taxonomy: %v", results[0].err)
 	}
 }

@@ -19,8 +19,10 @@ import (
 	"os/signal"
 	"syscall"
 
+	"explink/internal/anneal"
 	"explink/internal/core"
 	"explink/internal/model"
+	"explink/internal/obs"
 	"explink/internal/route"
 	"explink/internal/sim"
 	"explink/internal/stats"
@@ -42,8 +44,22 @@ func main() {
 		tables  = flag.Bool("tables", false, "print the per-router routing tables (Fig. 3b)")
 		timeout = flag.Duration("timeout", 0, "abort the optimization after this wall-clock duration (0 = no limit)")
 		audit   = flag.Bool("audit", false, "self-check the chosen design with a short audited simulation")
+		debug   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		reg := obs.NewRegistry()
+		sim.EnableMetrics(reg)
+		anneal.EnableMetrics(reg)
+		core.EnableMetrics(reg)
+		srv, err := obs.ServeDebug(*debug, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "explink: debug server listening on http://%s\n", srv.Addr)
+	}
 
 	// Ctrl-C / SIGTERM cancels the optimization through the runctl taxonomy
 	// instead of killing the process mid-write.

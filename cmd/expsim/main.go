@@ -20,8 +20,10 @@ import (
 	"syscall"
 	"time"
 
+	"explink/internal/anneal"
 	"explink/internal/core"
 	"explink/internal/model"
+	"explink/internal/obs"
 	"explink/internal/power"
 	"explink/internal/sim"
 	"explink/internal/topo"
@@ -45,8 +47,22 @@ func main() {
 		loadTr   = flag.String("loadtrace", "", "replay a JSON trace instead of generating traffic")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit)")
 		audit    = flag.Bool("audit", false, "run with the per-cycle invariant auditor enabled")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		reg := obs.NewRegistry()
+		sim.EnableMetrics(reg)
+		anneal.EnableMetrics(reg)
+		core.EnableMetrics(reg)
+		srv, err := obs.ServeDebug(*debug, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "expsim: debug server listening on http://%s\n", srv.Addr)
+	}
 
 	if *saturate && *loadTr != "" {
 		// A trace fixes the injection schedule, so there is no offered rate to

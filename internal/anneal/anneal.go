@@ -112,8 +112,10 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 	if record {
 		res.History = append(res.History, Point{Evals: 1, Best: curObj})
 	}
+	track := newObsTracker() // nil (free) unless EnableMetrics was called
 	bits := cur.Bits()
 	if bits == 0 || sch.Moves <= 0 {
+		track.done(&res, sch.T0)
 		return res
 	}
 
@@ -129,6 +131,9 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 		}
 		if ctx.Err() != nil {
 			break // every move pays an objective eval, so per-move polling is cheap
+		}
+		if track != nil {
+			track.moves++
 		}
 		i := rng.Intn(bits)
 		cur.FlipAt(i)
@@ -172,7 +177,9 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 
 		if sch.CoolEvery > 0 && move%sch.CoolEvery == 0 && sch.CoolDiv > 0 {
 			temp /= sch.CoolDiv
+			track.flush(&res, temp) // cooldowns are the metrics cadence
 		}
 	}
+	track.done(&res, temp)
 	return res
 }

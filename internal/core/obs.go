@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"explink/internal/obs"
+)
+
+// metricSet holds the solver's exported instruments. Timers are minted per
+// (kind, C) on demand through the registry (idempotent get-or-create), so the
+// per-C solve timings the evaluation normalizes against (Fig. 7/12's
+// machine-independent cost axis) are visible live without pre-declaring every
+// link limit.
+type metricSet struct {
+	reg   *obs.Registry
+	evals *obs.Counter // core_evals_total
+}
+
+var coreMet atomic.Pointer[metricSet]
+
+// EnableMetrics registers the solver's metrics on reg and turns on collection
+// for every subsequent row or weighted-line solve. A nil registry disables
+// metrics again.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		coreMet.Store(nil)
+		return
+	}
+	coreMet.Store(&metricSet{
+		reg:   reg,
+		evals: reg.Counter("core_evals_total", "placement evaluations spent across solves (D&C initial + SA)"),
+	})
+}
+
+// observeSolve records one finished solve: its evaluation count and a wall
+// timer on the core_solve{kind,c} pair. Called only on the cold path (a real
+// solve runs thousands of routing evaluations; one map lookup is noise).
+func observeSolve(kind string, c int, evals int64, d time.Duration) {
+	m := coreMet.Load()
+	if m == nil {
+		return
+	}
+	m.evals.Add(evals)
+	m.reg.Timer("core_solve", "placement solve wall time",
+		obs.L("kind", kind), obs.L("c", strconv.Itoa(c))).Observe(d)
+}
+
+// Register exports the store's effectiveness counters on reg as live gauges
+// (core_store_solves, core_store_hits, core_store_disk_hits, core_store_len),
+// read from the mutex-protected counters at scrape time.
+func (st *PlacementStore) Register(reg *obs.Registry) {
+	if st == nil || reg == nil {
+		return
+	}
+	reg.Func("core_store_solves", "placement-store cache misses that ran a real solve",
+		func() float64 { return float64(st.Counters().Solves) })
+	reg.Func("core_store_hits", "placement-store solves answered from memory",
+		func() float64 { return float64(st.Counters().Hits) })
+	reg.Func("core_store_disk_hits", "placement-store solves answered from the on-disk cache",
+		func() float64 { return float64(st.Counters().DiskHits) })
+	reg.Func("core_store_len", "placement-store entries held in memory",
+		func() float64 { return float64(st.Len()) })
+}

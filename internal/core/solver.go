@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"explink/internal/anneal"
 	"explink/internal/dnc"
@@ -141,6 +142,7 @@ func (s *Solver) solveRowUncached(ctx context.Context, c int, algo Algorithm) (R
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
 	if err := s.Cfg.Validate(); err != nil {
 		return RowSolution{}, err
 	}
@@ -189,6 +191,7 @@ func (s *Solver) solveRowUncached(ctx context.Context, c int, algo Algorithm) (R
 	if err != nil {
 		return RowSolution{}, fmt.Errorf("core: solution infeasible at C=%d: %w", c, err)
 	}
+	observeSolve("row", c, evals, time.Since(start))
 	return RowSolution{Algo: algo, C: c, Row: row, Eval: ev, Evals: evals}, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"explink/internal/anneal"
 	"explink/internal/dnc"
@@ -164,6 +165,7 @@ func (s *Solver) solveLine(ctx context.Context, c int, algo Algorithm, w [][]flo
 // divide-and-conquer method ... and the cleverly-designed connection matrix
 // ... are still applicable".
 func (s *Solver) solveLineUncached(ctx context.Context, c int, algo Algorithm, w [][]float64, salt int64) (topo.Row, int64, error) {
+	t0 := time.Now()
 	n := s.Cfg.N
 	obj := model.WeightedRowObjective(s.Cfg.Params, w)
 
@@ -174,6 +176,7 @@ func (s *Solver) solveLineUncached(ctx context.Context, c int, algo Algorithm, w
 		ir := dnc.Initial(n, c, s.Cfg.Params)
 		init, evals = ir.Row, ir.Evals
 		if algo == InitOnly {
+			observeSolve("line", c, evals, time.Since(t0))
 			return init, evals, nil
 		}
 	case OnlySA:
@@ -202,6 +205,7 @@ func (s *Solver) solveLineUncached(ctx context.Context, c int, algo Algorithm, w
 	if ctx.Err() != nil {
 		return topo.Row{}, evals, runctl.Cancelled(ctx)
 	}
+	observeSolve("line", c, evals, time.Since(t0))
 	if startObj < res.Obj {
 		return start, evals, nil
 	}

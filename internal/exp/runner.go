@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"explink/internal/obs"
+	"explink/internal/stats"
+)
+
+// Outcome is one scheduled experiment's result slot.
+type Outcome struct {
+	Exp     Experiment
+	Rep     *stats.Report
+	Err     error
+	Elapsed time.Duration
+}
+
+// metricSet holds the suite runner's exported instruments. Scheduling state
+// (queued/inflight) is visible live, so a stalled suite shows exactly where
+// the pool is stuck; per-experiment wall time lands on the exp_run timer.
+type metricSet struct {
+	started   *obs.Counter // exp_started_total
+	finished  *obs.Counter // exp_finished_total
+	failed    *obs.Counter // exp_failed_total
+	inflight  *obs.Gauge   // exp_inflight
+	queued    *obs.Gauge   // exp_queued
+	runTime   *obs.Timer   // exp_run_total / exp_run_seconds_total
+	suiteTime *obs.Timer   // exp_suite_total / exp_suite_seconds_total
+}
+
+var expMet atomic.Pointer[metricSet]
+
+// EnableMetrics registers the suite runner's metrics on reg and turns on
+// collection for every subsequent RunAll. A nil registry disables metrics
+// again.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		expMet.Store(nil)
+		return
+	}
+	expMet.Store(&metricSet{
+		started:   reg.Counter("exp_started_total", "experiments started"),
+		finished:  reg.Counter("exp_finished_total", "experiments finished successfully"),
+		failed:    reg.Counter("exp_failed_total", "experiments that returned an error"),
+		inflight:  reg.Gauge("exp_inflight", "experiments currently running"),
+		queued:    reg.Gauge("exp_queued", "experiments waiting for a worker slot"),
+		runTime:   reg.Timer("exp_run", "per-experiment wall time"),
+		suiteTime: reg.Timer("exp_suite", "whole-suite wall time"),
+	})
+}
+
+// RunAll executes the selected experiments on a worker pool of the given
+// width. Results land in registry order regardless of completion order; a
+// cancelled ctx fails the unstarted experiments quickly while finished ones
+// keep their results (ctx, when non-nil, overrides opts.Ctx).
+//
+// Progress is reported two ways, both optional: metrics when EnableMetrics
+// was called, and JSON-lines events on ev (suite.start, experiment.start,
+// experiment.finish, experiment.error, suite.finish) when ev is non-nil.
+func RunAll(ctx context.Context, sel []Experiment, opts Options, parallel int, ev *obs.EventWriter) []Outcome {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if ctx != nil {
+		opts.Ctx = ctx
+	}
+	m := expMet.Load()
+	suiteStart := time.Now()
+	ev.Emit("suite.start", map[string]any{"experiments": len(sel), "parallel": parallel})
+	if m != nil {
+		m.queued.Set(int64(len(sel)))
+	}
+
+	out := make([]Outcome, len(sel))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, e := range sel {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if m != nil {
+				m.queued.Add(-1)
+				m.inflight.Add(1)
+				m.started.Inc()
+			}
+			ev.Emit("experiment.start", map[string]any{"name": e.Name, "section": e.Section})
+			start := time.Now()
+			rep, err := e.Run(opts)
+			elapsed := time.Since(start)
+			out[i] = Outcome{Exp: e, Rep: rep, Err: err, Elapsed: elapsed}
+			if m != nil {
+				m.inflight.Add(-1)
+				m.runTime.Observe(elapsed)
+				if err != nil {
+					m.failed.Inc()
+				} else {
+					m.finished.Inc()
+				}
+			}
+			if err != nil {
+				ev.Emit("experiment.error", map[string]any{
+					"name": e.Name, "seconds": elapsed.Seconds(), "error": err.Error()})
+			} else {
+				ev.Emit("experiment.finish", map[string]any{
+					"name": e.Name, "seconds": elapsed.Seconds()})
+			}
+		}(i, e)
+	}
+	wg.Wait()
+
+	failed := 0
+	for _, oc := range out {
+		if oc.Err != nil {
+			failed++
+		}
+	}
+	if m != nil {
+		m.suiteTime.Observe(time.Since(suiteStart))
+	}
+	ev.Emit("suite.finish", map[string]any{
+		"experiments": len(sel), "failed": failed, "seconds": time.Since(suiteStart).Seconds()})
+	return out
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventWriter emits a JSON-lines progress event stream: one self-contained
+// JSON object per line, safe for concurrent emitters, flushed per event so a
+// tail -f of a long registry run sees experiments start and finish as they
+// happen. A nil *EventWriter discards everything, so call sites need no
+// enabled-check.
+type EventWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // injectable clock for deterministic tests
+}
+
+// NewEventWriter streams events to w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{w: w, now: time.Now}
+}
+
+// Emit writes one event line: {"ts":..., "event":..., <fields>}. Reserved
+// keys ts/event override same-named fields. Marshal or write failures are
+// dropped — the stream is diagnostics, never control flow.
+func (e *EventWriter) Emit(event string, fields map[string]any) {
+	if e == nil {
+		return
+	}
+	obj := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		obj[k] = v
+	}
+	obj["event"] = event
+	obj["ts"] = e.now().UTC().Format(time.RFC3339Nano)
+	buf, err := json.Marshal(obj)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	e.mu.Lock()
+	e.w.Write(buf) //nolint:errcheck // diagnostics stream, best effort
+	e.mu.Unlock()
+}

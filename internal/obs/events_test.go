@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventWriterLines(t *testing.T) {
+	var sb strings.Builder
+	ew := NewEventWriter(&sb)
+	ew.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	ew.Emit("experiment.start", map[string]any{"name": "fig7"})
+	ew.Emit("experiment.finish", map[string]any{"name": "fig7", "seconds": 1.5, "ok": true})
+
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), sb.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["event"] != "experiment.start" || first["name"] != "fig7" {
+		t.Fatalf("line 0 = %v", first)
+	}
+	if first["ts"] != "2026-08-05T12:00:00Z" {
+		t.Fatalf("ts = %v", first["ts"])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["seconds"] != 1.5 || second["ok"] != true {
+		t.Fatalf("line 1 = %v", second)
+	}
+}
+
+func TestEventWriterNil(t *testing.T) {
+	var ew *EventWriter
+	ew.Emit("anything", map[string]any{"k": "v"}) // must not panic
+}
+
+// TestEventWriterConcurrent proves lines never interleave: every emitted
+// line parses as standalone JSON even under concurrent writers.
+func TestEventWriterConcurrent(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	ew := NewEventWriter(lockedWriter)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ew.Emit("tick", map[string]any{"worker": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d corrupt: %v: %q", n, err, sc.Text())
+		}
+		n++
+	}
+	if n != 800 {
+		t.Fatalf("got %d lines, want 800", n)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// servedRegistry is the registry behind the expvar "explink" variable.
+// expvar.Publish is once-per-process (it panics on duplicates), so the
+// variable reads through this pointer and ServeDebug swaps it.
+var (
+	servedRegistry atomic.Pointer[Registry]
+	publishOnce    sync.Once
+)
+
+// DebugServer is a running debug HTTP endpoint serving /metrics (Prometheus
+// text), /debug/vars (expvar, including the registry snapshot under
+// "explink"), and the net/http/pprof handlers under /debug/pprof/.
+type DebugServer struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	lis net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug endpoint on addr (host:port; port 0 picks a
+// free port) exposing reg. It returns once the listener is bound; requests
+// are served on a background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: ServeDebug needs a non-nil registry")
+	}
+	servedRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("explink", expvar.Func(func() any {
+			if r := servedRegistry.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // best effort over HTTP
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	ds := &DebugServer{
+		Addr: lis.Addr().String(),
+		lis:  lis,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go ds.srv.Serve(lis) //nolint:errcheck // Serve always returns once closed
+	return ds, nil
+}
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv_requests_total", "test counter").Add(12)
+	r.Gauge("srv_depth", "test gauge").Set(3)
+
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr
+
+	metrics := get(t, base+"/metrics")
+	for _, want := range []string{
+		"# TYPE srv_requests_total counter",
+		"srv_requests_total 12",
+		"srv_depth 3",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	vars := get(t, base+"/debug/vars")
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(decoded["explink"], &snap); err != nil {
+		t.Fatalf("expvar explink: %v", err)
+	}
+	if snap["srv_requests_total"] != 12 {
+		t.Fatalf("expvar snapshot = %v", snap)
+	}
+
+	if body := get(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline endpoint empty")
+	}
+}
+
+func TestServeDebugSwapsRegistry(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("swap_total", "").Add(1)
+	ds1, err := ServeDebug("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1.Close()
+
+	// A second server (e.g. a second run in-process) re-points the shared
+	// expvar variable instead of panicking on a duplicate Publish.
+	r2 := NewRegistry()
+	r2.Counter("swap_total", "").Add(2)
+	ds2, err := ServeDebug("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if body := get(t, fmt.Sprintf("http://%s/metrics", ds2.Addr)); !strings.Contains(body, "swap_total 2") {
+		t.Fatalf("second registry not served:\n%s", body)
+	}
+}
+
+func TestServeDebugNilRegistry(t *testing.T) {
+	if _, err := ServeDebug("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package obs is a small, dependency-free observability layer: atomic
+// counters, gauges and timers collected in a labeled Registry and exposed in
+// Prometheus text format, as an expvar snapshot, and over an opt-in debug
+// HTTP server (metrics + pprof). It also carries the JSON-lines progress
+// event stream used by long registry runs.
+//
+// The design contract is that instrumentation must cost nothing when
+// observability is off. Every instrument is nil-safe: a nil *Registry mints
+// nil instruments, and every method on a nil *Counter, *Gauge, *FloatGauge or
+// *Timer is a no-op — one predictable branch, zero allocations. Hot paths
+// therefore hold possibly-nil instrument pointers and call them
+// unconditionally; see the nil-path allocation benchmark in the tests.
+//
+// Metric naming follows the Prometheus conventions: snake_case names prefixed
+// by subsystem (sim_, anneal_, core_, exp_), counters suffixed _total,
+// durations in seconds. DESIGN.md §8 documents the full taxonomy.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric (atomic, nil-safe).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increases the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer-valued instantaneous metric (atomic, nil-safe).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (useful for in-flight counts). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64-valued instantaneous metric (atomic, nil-safe).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value. No-op on a nil gauge.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates durations: an observation count and a running total in
+// seconds, exposed as the counter pair <name>_total and <name>_seconds_total
+// so scrapers can derive both rates and mean latency.
+type Timer struct {
+	n     atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe records one duration. No-op on a nil timer.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.n.Add(1)
+	t.nanos.Add(int64(d))
+}
+
+// Count returns the number of observations (0 for a nil timer).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// Total returns the accumulated duration (0 for a nil timer).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos.Load())
+}

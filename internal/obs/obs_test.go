@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	fg := r.FloatGauge("fg", "a float gauge")
+	fg.Set(2.5)
+	if fg.Value() != 2.5 {
+		t.Fatalf("float gauge = %g", fg.Value())
+	}
+	tm := r.Timer("op", "an op")
+	tm.Observe(1500 * time.Millisecond)
+	tm.Observe(500 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 2*time.Second {
+		t.Fatalf("timer = %d obs %v", tm.Count(), tm.Total())
+	}
+}
+
+func TestRegistryIdempotentAndTyped(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", L("k", "v"))
+	b := r.Counter("dup_total", "h", L("k", "v"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	// Distinct labels are distinct series.
+	c := r.Counter("dup_total", "h", L("k", "w"))
+	if a == c {
+		t.Fatal("different labels must mint a different counter")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("lbl", "h", L("b", "2"), L("a", "1"))
+	g2 := r.Gauge("lbl", "h", L("a", "1"), L("b", "2"))
+	if g1 != g2 {
+		t.Fatal("label order changed series identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dup_total", "h", L("k", "v"))
+}
+
+// TestRegistryConcurrency hammers registration and updates from many
+// goroutines; run with -race (the CI does) to prove the registry and the
+// instruments are safe for concurrent use.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("conc_total", "shared").Inc()
+				r.Gauge("conc_gauge", "shared").Set(int64(i))
+				r.Counter("conc_labeled_total", "per-worker", L("w", string(rune('a'+w)))).Inc()
+				if i%50 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "shared").Value(); got != 8*500 {
+		t.Fatalf("concurrent counter = %d, want %d", got, 8*500)
+	}
+	snap := r.Snapshot()
+	if snap["conc_total"] != 8*500 {
+		t.Fatalf("snapshot = %v", snap["conc_total"])
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// sorted by name then labels, HELP/TYPE once per name, shortest float form.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b help", L("algo", "D&C_SA")).Add(3)
+	r.Counter("b_total", "b help", L("algo", "OnlySA")).Add(1)
+	r.Gauge("a_gauge", "a help").Set(42)
+	r.FloatGauge("c_ratio", "c help").Set(0.125)
+	r.Func("d_func", "d help", func() float64 { return 2 })
+	r.Timer("e_op", "e ops").Observe(1500 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge a help
+# TYPE a_gauge gauge
+a_gauge 42
+# HELP b_total b help
+# TYPE b_total counter
+b_total{algo="D&C_SA"} 3
+b_total{algo="OnlySA"} 1
+# HELP c_ratio c help
+# TYPE c_ratio gauge
+c_ratio 0.125
+# HELP d_func d help
+# TYPE d_func gauge
+d_func 2
+# HELP e_op_seconds_total e ops (accumulated seconds)
+# TYPE e_op_seconds_total counter
+e_op_seconds_total 1.5
+# HELP e_op_total e ops (observations)
+# TYPE e_op_total counter
+e_op_total 1
+`
+	if sb.String() != want {
+		t.Fatalf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("p", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "esc_total{p=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped exposition = %q, want it to contain %q", sb.String(), want)
+	}
+}
+
+// TestNilRegistryDisabled pins the disabled fast path: a nil registry mints
+// nil instruments, every method no-ops, and exposition is empty.
+func TestNilRegistryDisabled(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("g", "")
+	fg := r.FloatGauge("fg", "")
+	tm := r.Timer("t", "")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	fg.Set(1.5)
+	tm.Observe(time.Second)
+	r.Func("f", "", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || fg.Value() != 0 || tm.Count() != 0 || tm.Total() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, %v", sb.String(), err)
+	}
+}
+
+// TestNilInstrumentsZeroAlloc asserts the zero-cost-when-disabled contract:
+// updating nil instruments performs no heap allocations (the sim hot loop
+// relies on this to keep its pinned 0 allocs/op steady state).
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var fg *FloatGauge
+	var tm *Timer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(9)
+		fg.Set(1.25)
+		tm.Observe(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instrument updates allocate %.0f objects/op; want 0", allocs)
+	}
+}
+
+// BenchmarkNilCounterAdd documents the cost of a disabled counter update (a
+// nil check); it must report 0 B/op and 0 allocs/op.
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledCounterAdd is the enabled-side cost (one atomic add).
+func BenchmarkEnabledCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind tags how a series is typed in the exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+)
+
+func (k metricKind) String() string {
+	if k == kindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// series is one registered time series: a name, rendered label set, and a
+// read function evaluated at scrape time.
+type series struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels string // pre-rendered {k="v",...}, or ""
+	read   func() float64
+	inst   any // the instrument backing the series, for idempotent re-registration
+}
+
+// Registry collects metric series for exposition. All methods are safe for
+// concurrent use, and every constructor is idempotent: asking twice for the
+// same (name, labels) returns the same instrument, so independent subsystems
+// can share a series without coordination. A nil *Registry is a valid
+// disabled registry — constructors return nil instruments whose methods
+// no-op, and exposition writes nothing.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // key: name + rendered labels
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// renderLabels formats a label set in sorted key order with Prometheus
+// escaping, so equal sets always collide on the same series key.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// register installs (or returns the existing) series for key name+labels.
+// make builds the instrument and its read function on first registration.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, mk func() (any, func() float64)) any {
+	if r == nil {
+		return nil
+	}
+	rendered := renderLabels(labels)
+	key := name + rendered
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: series %s re-registered as %s (was %s)", key, kind, s.kind))
+		}
+		return s.inst
+	}
+	inst, read := mk()
+	r.series[key] = &series{name: name, help: help, kind: kind, labels: rendered, read: read, inst: inst}
+	return inst
+}
+
+// Counter returns the counter series name{labels}, creating it on first use.
+// Returns nil (a valid no-op counter) on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	inst := r.register(name, help, kindCounter, labels, func() (any, func() float64) {
+		c := &Counter{}
+		return c, func() float64 { return float64(c.Value()) }
+	})
+	if inst == nil {
+		return nil
+	}
+	return inst.(*Counter)
+}
+
+// Gauge returns the integer gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	inst := r.register(name, help, kindGauge, labels, func() (any, func() float64) {
+		g := &Gauge{}
+		return g, func() float64 { return float64(g.Value()) }
+	})
+	if inst == nil {
+		return nil
+	}
+	return inst.(*Gauge)
+}
+
+// FloatGauge returns the float gauge series name{labels}.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	inst := r.register(name, help, kindGauge, labels, func() (any, func() float64) {
+		g := &FloatGauge{}
+		return g, func() float64 { return g.Value() }
+	})
+	if inst == nil {
+		return nil
+	}
+	return inst.(*FloatGauge)
+}
+
+// Timer returns the timer behind the counter pair name_total{labels} and
+// name_seconds_total{labels}.
+func (r *Registry) Timer(name, help string, labels ...Label) *Timer {
+	inst := r.register(name+"_total", help+" (observations)", kindCounter, labels, func() (any, func() float64) {
+		t := &Timer{}
+		return t, func() float64 { return float64(t.Count()) }
+	})
+	if inst == nil {
+		return nil
+	}
+	t := inst.(*Timer)
+	r.register(name+"_seconds_total", help+" (accumulated seconds)", kindCounter, labels, func() (any, func() float64) {
+		return t, func() float64 { return t.Total().Seconds() }
+	})
+	return t
+}
+
+// Func registers a gauge series read from a callback at scrape time; the
+// callback must be safe for concurrent use. No-op on a nil registry.
+func (r *Registry) Func(name, help string, f func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, labels, func() (any, func() float64) {
+		return nil, f
+	})
+}
+
+// snapshotSeries returns the registered series sorted by name then labels,
+// for deterministic exposition.
+func (r *Registry) snapshotSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (sorted by name then labels; HELP/TYPE emitted once per name).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	last := ""
+	for _, s := range r.snapshotSeries() {
+		if s.name != last {
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			last = s.name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels,
+			strconv.FormatFloat(s.read(), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every series value keyed by name{labels}, the expvar view
+// of the registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range r.snapshotSeries() {
+		out[s.name+s.labels] = s.read()
+	}
+	return out
+}

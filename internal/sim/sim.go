@@ -55,6 +55,14 @@ type Simulator struct {
 	// normal runs, where its only cost is one nil check per switch grant.
 	audit *auditor
 
+	// met is the process metric set captured at New (nil when metrics are
+	// disabled). Run publishes deltas on its housekeeping cadence; pubCycle,
+	// pubCounts and watchdogArmed track what was last published.
+	met           *metricSet
+	pubCycle      int64
+	pubCounts     Counts
+	watchdogArmed bool
+
 	inCand []int  // scratch: per-inPort chosen VC during switch allocation
 	outReq []int  // scratch: output ports with at least one nomination
 	vcMask uint64 // low cfg.VCs bits set; masks rotated occupancy words
@@ -120,6 +128,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Audit {
 		s.audit = newAuditor(s)
 	}
+	s.met = simMet.Load()
 	return s, nil
 }
 
@@ -147,6 +156,9 @@ func (s *Simulator) Run(ctx context.Context) (Result, error) {
 		ctx = context.Background()
 	}
 	start := time.Now()
+	if s.met != nil {
+		s.met.runsStarted.Inc()
+	}
 	drained := false
 	var runErr error
 	for {
@@ -164,10 +176,15 @@ func (s *Simulator) Run(ctx context.Context) (Result, error) {
 			runErr = &DeadlockError{Cycle: s.now, Stall: stall, Report: s.deadlockReport()}
 			break
 		}
-		if s.now&ctxCheckMask == 0 && ctx.Err() != nil {
-			s.truncated = TruncatedCancelled
-			runErr = fmt.Errorf("sim: run cancelled at cycle %d: %w", s.now, runctl.Cancelled(ctx))
-			break
+		if s.now&ctxCheckMask == 0 {
+			if ctx.Err() != nil {
+				s.truncated = TruncatedCancelled
+				runErr = fmt.Errorf("sim: run cancelled at cycle %d: %w", s.now, runctl.Cancelled(ctx))
+				break
+			}
+			if s.met != nil {
+				s.publishObs()
+			}
 		}
 		s.step()
 		if s.audit != nil {
@@ -183,6 +200,15 @@ func (s *Simulator) Run(ctx context.Context) (Result, error) {
 	res.WallTime = time.Since(start)
 	if sec := res.WallTime.Seconds(); sec > 0 {
 		res.CyclesPerSec = float64(res.Cycles) / sec
+	}
+	if s.met != nil {
+		s.publishObs()
+		s.met.runsFinished.Inc()
+		s.met.runTime.Observe(res.WallTime)
+		s.met.cyclesPerSec.Set(res.CyclesPerSec)
+		if s.truncated == TruncatedDeadlock {
+			s.met.watchdogFired.Inc()
+		}
 	}
 	return res, runErr
 }

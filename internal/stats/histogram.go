@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -16,6 +17,10 @@ const histDense = 1 << 12
 // and reports exact percentiles. Small non-negative values count into a dense
 // array; anything else (a wide tail near saturation) spills into a sparse
 // map, so memory stays bounded by histDense plus the distinct tail values.
+//
+// The zero value is an empty, ready-to-use histogram: Add and Merge size the
+// dense array on first use. NewHistogram pre-sizes it so the hot path never
+// pays the lazy check's allocation.
 type Histogram struct {
 	dense  []int64
 	sparse map[int]int64
@@ -31,6 +36,9 @@ func NewHistogram() *Histogram {
 // Add records one sample with value v.
 func (h *Histogram) Add(v int) {
 	if uint(v) < histDense {
+		if h.dense == nil {
+			h.dense = make([]int64, histDense)
+		}
 		h.dense[v]++
 	} else {
 		if h.sparse == nil {
@@ -62,12 +70,15 @@ func (h *Histogram) count(v int) int64 {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using the
-// nearest-rank definition, or 0 with no samples.
+// nearest-rank definition, or 0 with no samples. The rank is ⌈p·N/100⌉:
+// truncating instead would e.g. report the 9th smallest of 10 samples as p95.
+// Multiplying before dividing keeps the common integer-p cases exact (99·N is
+// representable, 99/100 is not), so ceil never rounds an exact rank up.
 func (h *Histogram) Percentile(p float64) int {
 	if h.total == 0 {
 		return 0
 	}
-	rank := int64(p / 100 * float64(h.total))
+	rank := int64(math.Ceil(p * float64(h.total) / 100))
 	if rank < 1 {
 		rank = 1
 	}
@@ -94,8 +105,12 @@ func (h *Histogram) Max() int {
 	return keys[len(keys)-1]
 }
 
-// Merge folds other into h.
+// Merge folds other into h. A zero-value receiver (or operand) is a valid
+// empty histogram.
 func (h *Histogram) Merge(other *Histogram) {
+	if other.dense != nil && h.dense == nil {
+		h.dense = make([]int64, histDense)
+	}
 	for v, c := range other.dense {
 		h.dense[v] += c
 	}

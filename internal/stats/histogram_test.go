@@ -37,6 +37,37 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentilesNearestRankCeil pins the ⌈p·N/100⌉ rank on totals
+// that are not multiples of 100, where the old truncating rank under-read by
+// one (e.g. p95 of 10 samples returned the 9th smallest).
+func TestHistogramPercentilesNearestRankCeil(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int // expected value with samples 1..n
+	}{
+		{10, 95, 10},   // ceil(9.5) = 10; truncation reported 9
+		{10, 50, 5},    // ceil(5.0) = 5: exact ranks stay put
+		{10, 91, 10},   // ceil(9.1) = 10
+		{10, 90, 9},    // ceil(9.0) = 9
+		{3, 50, 2},     // ceil(1.5) = 2
+		{3, 100, 3},    // full rank
+		{7, 99, 7},     // ceil(6.93) = 7
+		{1, 99, 1},     // single sample answers every percentile
+		{101, 99, 100}, // ceil(99.99) = 100
+		{200, 99, 198}, // ceil(198.0) = 198: integer product stays exact
+	}
+	for _, c := range cases {
+		h := NewHistogram()
+		for v := 1; v <= c.n; v++ {
+			h.Add(v)
+		}
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("n=%d p%g = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
 func TestHistogramSkewed(t *testing.T) {
 	h := NewHistogram()
 	for i := 0; i < 99; i++ {
@@ -63,6 +94,42 @@ func TestHistogramMerge(t *testing.T) {
 	}
 	if a.Mean() != 2 {
 		t.Fatalf("mean = %g", a.Mean())
+	}
+}
+
+// TestHistogramZeroValue guards the zero-value contract: a Histogram{} that
+// never went through NewHistogram must accept Add and Merge (in either
+// direction) instead of panicking on the nil dense slice.
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	h.Add(4)
+	h.Add(histDense + 5) // sparse path
+	src := NewHistogram()
+	for i := 0; i < 9; i++ {
+		src.Add(2)
+	}
+	h.Merge(src)
+	if h.Count() != 11 {
+		t.Fatalf("count = %d, want 11", h.Count())
+	}
+	if got := h.Percentile(50); got != 2 {
+		t.Fatalf("p50 = %d, want 2", got)
+	}
+	if h.Max() != histDense+5 {
+		t.Fatalf("max = %d", h.Max())
+	}
+
+	// Merging a zero-value operand into a fresh receiver must also work, and
+	// merging two zero-value histograms must stay a no-op.
+	var a, b Histogram
+	a.Merge(&b)
+	if a.Count() != 0 {
+		t.Fatalf("zero-merge count = %d", a.Count())
+	}
+	dst := NewHistogram()
+	dst.Merge(&h)
+	if dst.Count() != 11 {
+		t.Fatalf("merged count = %d", dst.Count())
 	}
 }
 

@@ -142,7 +142,12 @@ type hotspot struct {
 }
 
 // Hotspot sends each packet to one of the hot nodes with probability frac
-// and follows the background pattern otherwise.
+// and follows the background pattern otherwise. A hot node that is itself a
+// source redirects its own hotspot traffic uniformly over the other hot
+// nodes, so every source injects the full frac share; with a single hot node
+// that node has no other target and its hotspot draws degenerate to dropped
+// self-addressed packets (the one case where injected hotspot traffic falls
+// short of frac).
 func Hotspot(n int, hot []int, frac float64, background Pattern) Pattern {
 	if len(hot) == 0 {
 		panic("traffic: hotspot needs at least one hot node")
@@ -157,7 +162,24 @@ func (h hotspot) Name() string { return h.name }
 
 func (h hotspot) Dest(src int, rng *stats.RNG) int {
 	if rng.Bool(h.frac) {
-		return h.hot[rng.Intn(len(h.hot))]
+		d := h.hot[rng.Intn(len(h.hot))]
+		if d != src || len(h.hot) == 1 {
+			return d
+		}
+		// The drawn hot node is the source itself: redraw uniformly over the
+		// other hot nodes instead of silently dropping the packet, so hot-node
+		// sources still inject their full frac share of hotspot traffic.
+		j := rng.Intn(len(h.hot) - 1)
+		for _, node := range h.hot {
+			if node == src {
+				continue
+			}
+			if j == 0 {
+				return node
+			}
+			j--
+		}
+		return d // unreachable unless hot lists src twice; caller drops it
 	}
 	return h.bg.Dest(src, rng)
 }

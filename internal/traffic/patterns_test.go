@@ -153,6 +153,51 @@ func TestHotspot(t *testing.T) {
 	}
 }
 
+// TestHotspotFromHotSource pins the frac contract for hot-node sources: a
+// draw landing on the source redirects to another hot node instead of being
+// dropped, so a hot source still injects its full hotspot share.
+func TestHotspotFromHotSource(t *testing.T) {
+	hot := []int{0, 7, 56, 63}
+	p := Hotspot(8, hot, 0.5, UniformRandom(8))
+	rng := stats.NewRNG(11)
+	hits, self := 0, 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		d := p.Dest(0, rng) // src is itself a hot node
+		if d == 0 {
+			self++
+		}
+		if d == 7 || d == 56 || d == 63 {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.48 || frac > 0.56 {
+		t.Fatalf("hot-source hotspot fraction = %g, want ~0.5 (plus background hits)", frac)
+	}
+	// The only self-addressed draws left come from the background pattern,
+	// which never returns src for uniform traffic.
+	if self != 0 {
+		t.Fatalf("%d self-addressed packets from a hot source; redraw should eliminate them", self)
+	}
+}
+
+// TestHotspotSingleHotNode documents the degenerate case: with one hot node
+// there is no other target, so that node's own hotspot draws stay
+// self-addressed and are dropped by the caller.
+func TestHotspotSingleHotNode(t *testing.T) {
+	p := Hotspot(8, []int{5}, 1.0, UniformRandom(8))
+	rng := stats.NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if d := p.Dest(5, rng); d != 5 {
+			t.Fatalf("single-hot-node source drew %d, want self (dropped)", d)
+		}
+		if d := p.Dest(9, rng); d != 5 {
+			t.Fatalf("non-hot source drew %d, want 5", d)
+		}
+	}
+}
+
 func TestHotspotPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
