@@ -97,6 +97,7 @@ func run() int {
 		which    = flag.String("exp", "all", "experiments to run: all, or a comma-separated list (see -list)")
 		quick    = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		replicas = flag.Int("replicas", 1, "seed replicas per simulated operating point (batched engine; 1 = single seed)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<name>.txt (and .json with -json)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole suite after this wall-clock duration (0 = no limit)")
@@ -171,6 +172,7 @@ func run() int {
 	opts.Seed = *seed
 	opts.Audit = *audit
 	opts.Store = store
+	opts.Replicas = *replicas
 
 	if *parallel > runtime.GOMAXPROCS(0) {
 		*parallel = runtime.GOMAXPROCS(0)

@@ -41,6 +41,7 @@ func main() {
 		measure  = flag.Int("measure", 10000, "measurement cycles")
 		drain    = flag.Int("drain", 40000, "max drain cycles")
 		saturate = flag.Bool("saturate", false, "search for the saturation throughput instead of a single run")
+		replicas = flag.Int("replicas", 1, "run this many seed replicas on the batched engine and report the aggregate")
 		showPow  = flag.Bool("power", true, "print the power estimate")
 		heatmap  = flag.Bool("heatmap", false, "print the per-router link-utilization heatmap after the run")
 		saveTr   = flag.String("savetrace", "", "record the workload and write it as JSON to this file")
@@ -113,8 +114,16 @@ func main() {
 		fmt.Printf("replaying trace %s (%d packets) on %s\n", tr.Name, len(tr.Entries), tp.Name)
 	}
 
+	if *replicas > 1 && *saveTr != "" {
+		// Trace recording is per-simulator; with several replicas there is no
+		// single workload to save.
+		fatal(fmt.Errorf("-savetrace needs a single run; drop -replicas or set it to 1"))
+	}
+
 	if *saturate {
-		sweep, err := sim.FindSaturation(ctx, cfg, sim.DefaultSaturationOpts())
+		satOpts := sim.DefaultSaturationOpts()
+		satOpts.Replicas = *replicas
+		sweep, err := sim.FindSaturation(ctx, cfg, satOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,6 +136,30 @@ func main() {
 			sweep.Saturation, sweep.SatRate)
 		fmt.Printf("simulated %d cycles in %v (%.0f cycles/sec)\n",
 			sweep.SimCycles, sweep.WallTime.Round(time.Millisecond), sweep.CyclesPerSec)
+		return
+	}
+
+	if *replicas > 1 {
+		b, err := sim.NewBatch(cfg, sim.ReplicaSeeds(cfg.Seed, *replicas))
+		if err != nil {
+			fatal(err)
+		}
+		results, agg, err := b.Run(ctx, 0)
+		if err != nil {
+			fatal(err)
+		}
+		res := sim.AggregateReplicas(results)
+		fmt.Println(res.String())
+		fmt.Printf("  p95=%d p99=%d max=%d cycles, measured packets=%d (across %d replicas)\n",
+			res.P95Latency, res.P99Latency, res.MaxLatency, res.MeasuredPackets, *replicas)
+		for i, r := range results {
+			fmt.Printf("  replica %d: latency %.2f, accepted %.4f pkt/node/cy, drained=%v\n",
+				i, r.AvgPacketLatency, r.ThroughputPackets, r.Drained)
+		}
+		fmt.Printf("  simulated %s\n", agg)
+		if *heatmap {
+			fmt.Print(b.Replicas()[0].UtilizationHeatmap())
+		}
 		return
 	}
 

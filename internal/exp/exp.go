@@ -53,6 +53,12 @@ type Options struct {
 	// with an on-disk store) are computed exactly once. Results are
 	// bit-identical with or without a store.
 	Store *core.PlacementStore
+	// Replicas runs every simulated operating point this many times with
+	// decorrelated seeds and reports the across-replica aggregate
+	// (sim.AggregateReplicas). Replica groups ride the batched replica
+	// engine, so the extra samples share one network construction. 0 or 1
+	// keeps the single-seed behaviour bit-identical.
+	Replicas int
 }
 
 // DefaultOptions runs experiments at full fidelity.

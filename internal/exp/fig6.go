@@ -93,7 +93,7 @@ func Fig6(o Options) (Fig6Result, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := sim.RunMany(o.ctx(), cfgs, 0)
+	results, _, err := sim.RunManyReplicatedAgg(o.ctx(), cfgs, o.Replicas, 0)
 	if err != nil {
 		return out, fmt.Errorf("fig6: %w", err)
 	}

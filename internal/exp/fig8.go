@@ -45,6 +45,7 @@ func Fig8(o Options) (Fig8Result, error) {
 	}
 
 	satOpts := sim.DefaultSaturationOpts()
+	satOpts.Replicas = o.Replicas
 	if o.Quick {
 		satOpts.Refine = 2
 		satOpts.Start = 0.01
@@ -77,16 +78,12 @@ func Fig8(o Options) (Fig8Result, error) {
 			if o.Quick {
 				cfg.Warmup, cfg.Measure, cfg.Drain = 300, 1500, 6000
 			}
-			s, err := sim.New(cfg)
+			probe, _, err := sim.RunManyReplicatedAgg(o.ctx(), []sim.Config{cfg}, o.Replicas, 0)
 			if err != nil {
 				errs[ji] = err
 				return
 			}
-			res, err := s.Run(o.ctx())
-			if err != nil {
-				errs[ji] = err
-				return
-			}
+			res := probe[0]
 			sweep, err := sim.FindSaturation(o.ctx(), cfg, satOpts)
 			if err != nil {
 				errs[ji] = fmt.Errorf("fig8 %s/%s saturation: %w", pat.Name(), sch.Name, err)

@@ -53,7 +53,7 @@ func LoadLatency(o Options) (LoadLatencyResult, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := sim.RunMany(o.ctx(), cfgs, 0)
+	results, _, err := sim.RunManyReplicatedAgg(o.ctx(), cfgs, o.Replicas, 0)
 	if err != nil {
 		return out, err
 	}

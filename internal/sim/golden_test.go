@@ -220,6 +220,63 @@ func TestGoldenBitIdentity(t *testing.T) {
 	compareGolden(t, got)
 }
 
+// runGoldenBatch mirrors runGolden over the batched replica engine: every
+// fixture config runs as replica 0 of a two-replica Batch (the second
+// replica uses an unrelated seed), so the comparison proves batch replicas
+// are bit-identical to the recorded single-run fixtures — shared network
+// description, interleaved advance scheduling and all.
+func runGoldenBatch(t *testing.T) map[string]Result {
+	t.Helper()
+	runBatch := func(name string, cfg Config) (Result, *Simulator) {
+		t.Helper()
+		b, err := NewBatch(cfg, []uint64{cfg.Seed, cfg.Seed ^ 0x9e3779b97f4a7c15})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results, _, err := b.Run(context.Background(), 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return results[0], b.Replicas()[0]
+	}
+	out := map[string]Result{}
+	for name, cfg := range goldenCases() {
+		out[name], _ = runBatch(name, cfg)
+	}
+
+	record := func(name string, cfg Config) *Trace {
+		cfg.RecordTrace = true
+		res, s := runBatch(name, cfg)
+		out[name] = res
+		return s.RecordedTrace()
+	}
+	replay := func(name string, cfg Config, tr *Trace) {
+		cfg.Trace = tr
+		cfg.Pattern = nil
+		cfg.InjectionRate = 0
+		out[name], _ = runBatch(name, cfg)
+	}
+
+	mesh4 := goldenCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	tr := record("mesh4-ur-record", mesh4)
+	replay("mesh4-trace-replay", mesh4, tr)
+
+	express8, c8 := expressTopo8()
+	e8 := goldenCfg(express8, c8, traffic.UniformRandom(8), 0.04)
+	e8.Routing = RoutingO1Turn
+	tr8 := record("express8-o1turn-record", e8)
+	replay("express8-trace-replay-o1turn", e8, tr8)
+	return out
+}
+
+// TestGoldenBatchBitIdentity runs the whole fixture matrix in batch mode and
+// compares against the same golden file as the single-run test. Like the
+// audit variant it never rewrites fixtures: batch mode is a consumer of the
+// recorded truth.
+func TestGoldenBatchBitIdentity(t *testing.T) {
+	compareGolden(t, runGoldenBatch(t))
+}
+
 // TestGoldenBitIdentityAudit reruns the full fixture matrix with the
 // invariant auditor enabled. It proves two things at once: the auditor is a
 // pure observer (every Result is still bit-identical to the recorded seed

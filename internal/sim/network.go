@@ -12,135 +12,134 @@ import (
 // in production) so tests can force the scan path on small networks.
 var maxMaskPorts = 64
 
-// buildNetwork instantiates routers, channels, NIs and routing tables from
-// the topology. Duplicate parallel spans are dropped: the deterministic
-// routing tables would never spread load across them, so they only waste
-// ports.
-func (s *Simulator) buildNetwork() {
-	t := s.cfg.Topo
+// linkRec describes one directed link of the canonical link enumeration:
+// router id ascending, row neighbors then column neighbors, ascending
+// position. srcPort / dstPort are the out/in port indices the link occupies
+// at its endpoints (both after the k ejection/injection ports).
+type linkRec struct {
+	src, dst, length int
+	srcPort, dstPort int
+}
+
+// netShared is everything about a built network that does not depend on the
+// seed: the link enumeration, routing tables, ideal-latency matrices, packet
+// mix tables, buffer sizing and phase boundaries. It is immutable once built
+// and safe for concurrent reads, so one netShared can instantiate any number
+// of replica Simulators — differing only by Config.Seed — that share it (the
+// structure-of-arrays split behind sim.Batch: shared immutable columns here,
+// per-replica mutable state in each Simulator's own arenas).
+type netShared struct {
+	cfg     Config // normalized; Seed is overridden per replica
+	w, h    int
+	k       int // cores per router (concentration)
+	nodes   int // total cores
+	routers int
+
+	rowPaths []*route.RowPaths
+	colPaths []*route.RowPaths
+
+	links             []linkRec
+	outCount, inCount []int // ports per router, ejection/injection included
+	depthOf           []int // per-VC buffer depth per router
+	totOut, totIn     int
+	totBuf            int
+	maxIn, maxOut     int
+	rowOutTab         [][]int32 // rowOutTab[id][col] = out port to row neighbor, -1 none
+	colOutTab         [][]int32
+	routeXY, routeYX  []int32 // flattened dst->outPort tables, nil over the size cutoff
+	idealHead         [][]float64
+	idealHeadYX       [][]float64 // only populated under O1TURN routing
+	mixCum            []float64
+	mixFlits          []int
+	warmEnd, measEnd  int64
+	hardEnd           int64
+}
+
+// newShared validates and defaults the config, then builds the shared
+// network description. Duplicate parallel spans are dropped: the
+// deterministic routing tables would never spread load across them, so they
+// only waste ports.
+func newShared(cfg Config) (*netShared, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	t := cfg.Topo
 	w, h := t.W, t.H
-	k := s.cfg.Concentration
+	k := cfg.Concentration
 	routers := t.NumRouters()
-	s.w, s.h = w, h
-	s.k = k
-	s.nodes = routers * k // cores
+	sh := &netShared{
+		cfg: cfg, w: w, h: h, k: k,
+		nodes: routers * k, routers: routers,
+	}
 
 	// Zero-contention routing parameters: the tables must match the analytic
 	// model's paths.
-	rp := route.Params{PerHop: float64(s.cfg.RouterStages), PerUnit: 1}
-	rowPaths := make([]*route.RowPaths, h)
-	colPaths := make([]*route.RowPaths, w)
+	rp := route.Params{PerHop: float64(cfg.RouterStages), PerUnit: 1}
+	sh.rowPaths = make([]*route.RowPaths, h)
+	sh.colPaths = make([]*route.RowPaths, w)
 	rows := make([]rowLinks, h)
 	cols := make([]rowLinks, w)
 	for y := 0; y < h; y++ {
 		r := t.Rows[y].Dedupe()
-		rowPaths[y] = route.Compute(r, rp)
+		sh.rowPaths[y] = route.Compute(r, rp)
 		rows[y] = linksOf(r)
 	}
 	for x := 0; x < w; x++ {
 		c := t.Cols[x].Dedupe()
-		colPaths[x] = route.Compute(c, rp)
+		sh.colPaths[x] = route.Compute(c, rp)
 		cols[x] = linksOf(c)
 	}
 
-	// Pass 0: enumerate the link set in its canonical creation order (router
-	// id ascending, row neighbors then column neighbors, ascending position)
-	// and size every component store. Routers, ports, channels, VC states and
-	// flit buffers are then carved out of one contiguous backing array per
-	// kind, so the allocator's per-cycle walk (router -> inPort -> vcState ->
-	// bufEntry) stays within a few hot cache lines instead of chasing
-	// pointers across scattered heap objects. The subslices are created empty
-	// with exact capacity, so the append-style construction below fills them
-	// in place and every pointer into a store stays valid.
-	type linkRec struct{ src, dst, length int }
-	var links []linkRec
-	outCount := make([]int, routers)
-	inCount := make([]int, routers)
+	// Enumerate the link set in its canonical creation order and assign every
+	// link its port indices at both endpoints: out ports are the k ejection
+	// ports followed by this router's outgoing links in enumeration order, in
+	// ports the k injection ports followed by incoming links in global
+	// arrival (enumeration) order.
+	sh.outCount = make([]int, routers)
+	sh.inCount = make([]int, routers)
+	sh.rowOutTab = make([][]int32, routers)
+	sh.colOutTab = make([][]int32, routers)
 	for id := 0; id < routers; id++ {
-		outCount[id] += k
-		inCount[id] += k
+		sh.outCount[id] = k
+		sh.inCount[id] = k
+		sh.rowOutTab[id] = negOnes(w)
+		sh.colOutTab[id] = negOnes(h)
+	}
+	for id := 0; id < routers; id++ {
 		x, y := id%w, id/w
 		for _, nb := range rows[y].neighbors[x] {
-			links = append(links, linkRec{id, y*w + nb, absInt(nb - x)})
-			outCount[id]++
-			inCount[y*w+nb]++
+			dst := y*w + nb
+			sh.rowOutTab[id][nb] = int32(sh.outCount[id])
+			sh.links = append(sh.links, linkRec{
+				src: id, dst: dst, length: absInt(nb - x),
+				srcPort: sh.outCount[id], dstPort: sh.inCount[dst],
+			})
+			sh.outCount[id]++
+			sh.inCount[dst]++
 		}
 		for _, nb := range cols[x].neighbors[y] {
-			links = append(links, linkRec{id, nb*w + x, absInt(nb - y)})
-			outCount[id]++
-			inCount[nb*w+x]++
+			dst := nb*w + x
+			sh.colOutTab[id][nb] = int32(sh.outCount[id])
+			sh.links = append(sh.links, linkRec{
+				src: id, dst: dst, length: absInt(nb - y),
+				srcPort: sh.outCount[id], dstPort: sh.inCount[dst],
+			})
+			sh.outCount[id]++
+			sh.inCount[dst]++
 		}
 	}
-	vcs := s.cfg.VCs
-	totOut, totIn, totBuf := 0, 0, 0
+	vcs := cfg.VCs
+	sh.depthOf = make([]int, routers)
 	for id := 0; id < routers; id++ {
-		totOut += outCount[id]
-		totIn += inCount[id]
-		totBuf += inCount[id] * vcs * s.cfg.vcDepth(inCount[id])
-	}
-	routerStore := make([]router, routers)
-	chStore := make([]channel, len(links))
-	outStore := make([]outPort, totOut)
-	inStore := make([]inPort, totIn)
-	vcStore := make([]vcState, totIn*vcs)
-	bufStore := make([]bufEntry, totBuf)
-	credStore := make([]int, totOut*vcs)
-	holdStore := negOnes(totOut * vcs)
-	niStore := make([]nodeIface, s.nodes)
-	niCredStore := make([]int, s.nodes*vcs)
-
-	s.routers = make([]*router, routers)
-	s.nis = make([]*nodeIface, s.nodes)
-	s.channels = make([]*channel, 0, len(links))
-	outOff, inOff := 0, 0
-	for id := 0; id < routers; id++ {
-		x, y := id%w, id/w
-		r := &routerStore[id]
-		*r = router{
-			id: id, x: x, y: y,
-			rowNext: rowPaths[y].Next,
-			colNext: colPaths[x].Next,
-			rowOut:  negOnes(w),
-			colOut:  negOnes(h),
-			out:     outStore[outOff : outOff : outOff+outCount[id]],
-			in:      inStore[inOff : inOff : inOff+inCount[id]],
+		sh.totOut += sh.outCount[id]
+		sh.totIn += sh.inCount[id]
+		sh.depthOf[id] = cfg.vcDepth(sh.inCount[id])
+		sh.totBuf += sh.inCount[id] * vcs * sh.depthOf[id]
+		if sh.inCount[id] > sh.maxIn {
+			sh.maxIn = sh.inCount[id]
 		}
-		outOff += outCount[id]
-		inOff += inCount[id]
-		s.routers[id] = r
-	}
-
-	// First pass: create output ports and channels; remember, per router, the
-	// incoming channels so input ports can be sized afterwards.
-	type incoming struct {
-		ch *channel
-	}
-	incomingOf := make([][]incoming, routers)
-	chIdx := 0
-	addLink := func(src, dst int, length int) {
-		sr := s.routers[src]
-		ch := &chStore[chIdx]
-		chIdx++
-		*ch = channel{latency: int64(length), lenUnits: int64(length), src: sr, dst: s.routers[dst],
-			idx: len(s.channels)}
-		sr.out = append(sr.out, outPort{ch: ch})
-		s.channels = append(s.channels, ch)
-		incomingOf[dst] = append(incomingOf[dst], incoming{ch: ch})
-	}
-	for id := 0; id < routers; id++ {
-		r := s.routers[id]
-		// out[0..k) are the per-core ejection ports.
-		for slot := 0; slot < k; slot++ {
-			r.out = append(r.out, outPort{isEject: true})
-		}
-		// Row (X) neighbors, then column (Y) neighbors, in ascending position.
-		for _, nb := range rows[r.y].neighbors[r.x] {
-			r.rowOut[nb] = int32(len(r.out))
-			addLink(id, r.y*w+nb, absInt(nb-r.x))
-		}
-		for _, nb := range cols[r.x].neighbors[r.y] {
-			r.colOut[nb] = int32(len(r.out))
-			addLink(id, nb*w+r.x, absInt(nb-r.y))
+		if sh.outCount[id] > sh.maxOut {
+			sh.maxOut = sh.outCount[id]
 		}
 	}
 
@@ -149,78 +148,219 @@ func (s *Simulator) buildNetwork() {
 	// dominate memory (paper-scale networks are nowhere near the cutoff).
 	// Under DOR only the XY table is ever consulted, so the YX slot aliases
 	// it rather than baking routes no packet takes.
-	if routers*s.nodes <= 1<<22 {
-		xyStore := make([]int32, routers*s.nodes)
-		var yxStore []int32
-		if s.cfg.Routing == RoutingO1Turn {
-			yxStore = make([]int32, routers*s.nodes)
+	if routers*sh.nodes <= 1<<22 {
+		sh.routeXY = make([]int32, routers*sh.nodes)
+		if cfg.Routing == RoutingO1Turn {
+			sh.routeYX = make([]int32, routers*sh.nodes)
 		}
-		for _, r := range s.routers {
-			xy := xyStore[r.id*s.nodes : (r.id+1)*s.nodes]
+		for id := 0; id < routers; id++ {
+			xy := sh.routeXY[id*sh.nodes : (id+1)*sh.nodes]
 			for dst := range xy {
-				xy[dst] = r.routeFlit(dst, w, k, false)
+				xy[dst] = sh.routeOf(id, dst, false)
 			}
-			r.routeTabs[0], r.routeTabs[1] = xy, xy
-			if yxStore != nil {
-				yx := yxStore[r.id*s.nodes : (r.id+1)*s.nodes]
+			if sh.routeYX != nil {
+				yx := sh.routeYX[id*sh.nodes : (id+1)*sh.nodes]
 				for dst := range yx {
-					yx[dst] = r.routeFlit(dst, w, k, true)
+					yx[dst] = sh.routeOf(id, dst, true)
 				}
-				r.routeTabs[1] = yx
 			}
 		}
 	}
 
-	// Second pass: input ports (injection first, then one per incoming
-	// channel) with depths from the fixed per-router buffer budget, and the
-	// matching credit counters on the upstream output ports.
-	vcOff, bufOff := 0, 0
-	for id := 0; id < routers; id++ {
-		r := s.routers[id]
-		numIn := k + len(incomingOf[id])
-		depth := s.cfg.vcDepth(numIn)
-		takeIn := func(upLat int64, ni *nodeIface) {
-			vcl := vcStore[vcOff : vcOff+vcs : vcOff+vcs]
-			vcOff += vcs
-			bufs := bufStore[bufOff : bufOff+vcs*depth]
-			bufOff += vcs * depth
-			r.in = append(r.in, makeInPort(vcl, bufs, depth, upLat, ni))
-		}
+	// Packet-size mix lookup tables.
+	sh.mixCum = make([]float64, len(cfg.Mix))
+	sh.mixFlits = make([]int, len(cfg.Mix))
+	cum := 0.0
+	for i, c := range cfg.Mix {
+		cum += c.Frac
+		sh.mixCum[i] = cum
+		sh.mixFlits[i] = model.FlitsFor(c.Bits, cfg.WidthBits)
+	}
+	sh.warmEnd = int64(cfg.Warmup)
+	sh.measEnd = int64(cfg.Warmup + cfg.Measure)
+	sh.hardEnd = sh.measEnd + int64(cfg.Drain)
 
-		for slot := 0; slot < k; slot++ {
-			core := id*k + slot
-			ni := &niStore[core]
-			*ni = nodeIface{
-				id:       core,
-				rng:      stats.NewRNG(stats.MixSeed(s.cfg.Seed, uint64(core))),
-				curVC:    -1,
-				credits:  niCredStore[core*vcs : (core+1)*vcs : (core+1)*vcs],
-				injector: r,
-				inPort:   slot,
-			}
-			for v := range ni.credits {
-				ni.credits[v] = depth
-			}
-			s.nis[core] = ni
-			takeIn(0, ni)
-		}
-		for _, inc := range incomingOf[id] {
-			takeIn(inc.ch.latency, nil)
-			inc.ch.dstPort = len(r.in) - 1
+	// Ideal pairwise head latencies for the contention metric (XY order, and
+	// the YX mirror when O1TURN is enabled).
+	p := model.Params{RouterDelay: float64(cfg.RouterStages), LinkDelay: 1, Contention: 0}
+	tp := model.ComputeTopoPaths(t, p)
+	cores := sh.nodes
+	sh.idealHead = make([][]float64, cores)
+	for src := 0; src < cores; src++ {
+		sh.idealHead[src] = make([]float64, cores)
+		for dst := 0; dst < cores; dst++ {
+			sh.idealHead[src][dst] = tp.PairHead(src/k, dst/k)
 		}
 	}
+	if cfg.Routing == RoutingO1Turn {
+		sh.idealHeadYX = make([][]float64, cores)
+		for src := 0; src < cores; src++ {
+			sh.idealHeadYX[src] = make([]float64, cores)
+			sr := src / k
+			sx, sy := sr%w, sr/w
+			for dst := 0; dst < cores; dst++ {
+				dr := dst / k
+				dx, dy := dr%w, dr/w
+				sh.idealHeadYX[src][dst] = sh.colPaths[sx].Dist[sy][dy] + sh.rowPaths[dy].Dist[sx][dx]
+			}
+		}
+	}
+	return sh, nil
+}
 
-	// Third pass: wire credit returns and credit counters now that both
-	// sides exist, size ejection ports, and fix each router's allocator path
-	// (occupancy-mask fast path vs. the wide scan).
-	credOff := 0
+// routeOf mirrors router.routeFlit over the shared tables, so the flattened
+// route tables can be baked once per network instead of once per replica.
+func (sh *netShared) routeOf(id, dst int, yx bool) int32 {
+	w, k := sh.w, sh.k
+	x, y := id%w, id/w
+	dr := dst / k
+	dx, dy := dr%w, dr/w
+	if yx {
+		if dy != y {
+			return sh.colOutTab[id][sh.colPaths[x].Next[y][dy]]
+		}
+		if dx != x {
+			return sh.rowOutTab[id][sh.rowPaths[y].Next[x][dx]]
+		}
+		return int32(dst % k)
+	}
+	if dx != x {
+		return sh.rowOutTab[id][sh.rowPaths[y].Next[x][dx]]
+	}
+	if dy != y {
+		return sh.colOutTab[id][sh.colPaths[x].Next[y][dy]]
+	}
+	return int32(dst % k)
+}
+
+// instantiate builds one runnable replica over the shared network
+// description, seeded with the given seed. All mutable state — routers,
+// ports, channels, VC states, flit buffers, credit counters, NIs — is carved
+// out of fresh contiguous backing arrays (one per kind, replica-major), so a
+// replica stepping touches only its own few hot cache lines; everything
+// seed-independent (routing tables, ideal-latency matrices, mix tables) is
+// referenced from the shared side. The wiring order matches the original
+// single-run construction exactly, so instantiate(cfg.Seed) is bit-identical
+// to the pre-split New.
+func (sh *netShared) instantiate(seed uint64) *Simulator {
+	cfg := sh.cfg
+	cfg.Seed = seed
+	s := &Simulator{
+		cfg:         cfg,
+		col:         newCollector(),
+		rng:         stats.NewRNG(seed),
+		w:           sh.w,
+		h:           sh.h,
+		k:           sh.k,
+		nodes:       sh.nodes,
+		idealHead:   sh.idealHead,
+		idealHeadYX: sh.idealHeadYX,
+		mixCum:      sh.mixCum,
+		mixFlits:    sh.mixFlits,
+		warmEnd:     sh.warmEnd,
+		measEnd:     sh.measEnd,
+		hardEnd:     sh.hardEnd,
+	}
+	routers, vcs, k := sh.routers, cfg.VCs, sh.k
+	routerStore := make([]router, routers)
+	chStore := make([]channel, len(sh.links))
+	outStore := make([]outPort, sh.totOut)
+	inStore := make([]inPort, sh.totIn)
+	vcStore := make([]vcState, sh.totIn*vcs)
+	bufStore := make([]bufEntry, sh.totBuf)
+	credStore := make([]int, sh.totOut*vcs)
+	holdStore := negOnes(sh.totOut * vcs)
+	niStore := make([]nodeIface, sh.nodes)
+	niCredStore := make([]int, sh.nodes*vcs)
+
+	s.routers = make([]*router, routers)
+	s.nis = make([]*nodeIface, sh.nodes)
+	s.channels = make([]*channel, len(sh.links))
+	outOff, inOff := 0, 0
 	for id := 0; id < routers; id++ {
-		r := s.routers[id]
-		if n := len(r.in); n > maxMaskPorts || n > 64 {
+		r := &routerStore[id]
+		*r = router{
+			id: id, x: id % sh.w, y: id / sh.w,
+			rowNext: sh.rowPaths[id/sh.w].Next,
+			colNext: sh.colPaths[id%sh.w].Next,
+			rowOut:  sh.rowOutTab[id],
+			colOut:  sh.colOutTab[id],
+			out:     outStore[outOff : outOff+sh.outCount[id] : outOff+sh.outCount[id]],
+			in:      inStore[inOff : inOff+sh.inCount[id] : inOff+sh.inCount[id]],
+		}
+		outOff += sh.outCount[id]
+		inOff += sh.inCount[id]
+		if sh.routeXY != nil {
+			xy := sh.routeXY[id*sh.nodes : (id+1)*sh.nodes]
+			r.routeTabs[0], r.routeTabs[1] = xy, xy
+			if sh.routeYX != nil {
+				r.routeTabs[1] = sh.routeYX[id*sh.nodes : (id+1)*sh.nodes]
+			}
+		}
+		if n := sh.inCount[id]; n > maxMaskPorts || n > 64 {
 			r.wide = true
 		} else {
 			r.inMask = uint64(1)<<uint(n) - 1
 		}
+		for oi := 0; oi < k; oi++ {
+			r.out[oi].isEject = true
+		}
+		s.routers[id] = r
+	}
+	for li := range sh.links {
+		lr := &sh.links[li]
+		ch := &chStore[li]
+		*ch = channel{
+			latency: int64(lr.length), lenUnits: int64(lr.length), idx: li,
+			src: s.routers[lr.src], dst: s.routers[lr.dst], dstPort: lr.dstPort,
+		}
+		s.channels[li] = ch
+		s.routers[lr.src].out[lr.srcPort].ch = ch
+	}
+
+	// Input ports: injection first, then one per incoming channel, with
+	// depths from the fixed per-router buffer budget. VC states and flit
+	// buffers are carved router-by-router in port order, matching the
+	// original construction's arena layout.
+	vcOff, bufOff := 0, 0
+	for id := 0; id < routers; id++ {
+		r := s.routers[id]
+		depth := sh.depthOf[id]
+		for pi := range r.in {
+			vcl := vcStore[vcOff : vcOff+vcs : vcOff+vcs]
+			vcOff += vcs
+			bufs := bufStore[bufOff : bufOff+vcs*depth]
+			bufOff += vcs * depth
+			var ni *nodeIface
+			if pi < k {
+				core := id*k + pi
+				ni = &niStore[core]
+				*ni = nodeIface{
+					id:       core,
+					rng:      stats.NewRNG(stats.MixSeed(seed, uint64(core))),
+					curVC:    -1,
+					credits:  niCredStore[core*vcs : (core+1)*vcs : (core+1)*vcs],
+					injector: r,
+					inPort:   pi,
+				}
+				for v := range ni.credits {
+					ni.credits[v] = depth
+				}
+				s.nis[core] = ni
+			}
+			r.in[pi] = makeInPort(vcl, bufs, depth, 0, ni)
+		}
+	}
+	for li := range sh.links {
+		lr := &sh.links[li]
+		s.routers[lr.dst].in[lr.dstPort].upLatency = int64(lr.length)
+	}
+
+	// Wire credit returns and credit counters now that both sides exist, and
+	// size ejection ports.
+	credOff := 0
+	for id := 0; id < routers; id++ {
+		r := s.routers[id]
 		for oi := range r.out {
 			op := &r.out[oi]
 			op.credits = credStore[credOff : credOff+vcs : credOff+vcs]
@@ -240,46 +380,26 @@ func (s *Simulator) buildNetwork() {
 			}
 		}
 	}
+
 	// Preallocate all inner-loop scratch: allocator scratch, the double-
 	// buffered active work lists (each bounded by its component count), and
 	// a starter packet free list. After this, steady-state step never grows
 	// a slice.
-	s.inCand = make([]int, s.maxInPorts())
-	s.outReq = make([]int, 0, s.maxOutPorts())
-	s.vcMask = uint64(1)<<uint(s.cfg.VCs) - 1 // VCs <= 64 enforced by normalize
-	numCh := len(s.channels)
-	s.chAct = make([]uint64, (numCh+63)/64)
+	s.inCand = make([]int, sh.maxIn)
+	s.outReq = make([]int, 0, sh.maxOut)
+	s.vcMask = uint64(1)<<uint(vcs) - 1 // VCs <= 64 enforced by normalize
+	s.chAct = make([]uint64, (len(sh.links)+63)/64)
 	s.rtrAct = make([]uint64, (routers+63)/64)
-	s.niAct = make([]uint64, (s.nodes+63)/64)
-	s.creditOuts = make([]*outPort, 0, totOut)
-	s.creditNIs = make([]*nodeIface, 0, s.nodes)
+	s.niAct = make([]uint64, (sh.nodes+63)/64)
+	s.creditOuts = make([]*outPort, 0, sh.totOut)
+	s.creditNIs = make([]*nodeIface, 0, sh.nodes)
 	s.pktFree = make([]*packet, 0, 64)
 
-	// Ideal pairwise head latencies for the contention metric (XY order, and
-	// the YX mirror when O1TURN is enabled).
-	p := model.Params{RouterDelay: float64(s.cfg.RouterStages), LinkDelay: 1, Contention: 0}
-	tp := model.ComputeTopoPaths(t, p)
-	cores := s.nodes
-	s.idealHead = make([][]float64, cores)
-	for src := 0; src < cores; src++ {
-		s.idealHead[src] = make([]float64, cores)
-		for dst := 0; dst < cores; dst++ {
-			s.idealHead[src][dst] = tp.PairHead(src/k, dst/k)
-		}
+	if cfg.Audit {
+		s.audit = newAuditor(s)
 	}
-	if s.cfg.Routing == RoutingO1Turn {
-		s.idealHeadYX = make([][]float64, cores)
-		for src := 0; src < cores; src++ {
-			s.idealHeadYX[src] = make([]float64, cores)
-			sr := src / k
-			sx, sy := sr%w, sr/w
-			for dst := 0; dst < cores; dst++ {
-				dr := dst / k
-				dx, dy := dr%w, dr/w
-				s.idealHeadYX[src][dst] = colPaths[sx].Dist[sy][dy] + rowPaths[dy].Dist[sx][dx]
-			}
-		}
-	}
+	s.met = simMet.Load()
+	return s
 }
 
 func makeInPort(vcl []vcState, bufs []bufEntry, depth int, upLat int64, ni *nodeIface) inPort {
@@ -319,24 +439,4 @@ func absInt(v int) int {
 		return -v
 	}
 	return v
-}
-
-func (s *Simulator) maxInPorts() int {
-	m := 0
-	for _, r := range s.routers {
-		if len(r.in) > m {
-			m = len(r.in)
-		}
-	}
-	return m
-}
-
-func (s *Simulator) maxOutPorts() int {
-	m := 0
-	for _, r := range s.routers {
-		if len(r.out) > m {
-			m = len(r.out)
-		}
-	}
-	return m
 }

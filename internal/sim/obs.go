@@ -35,6 +35,10 @@ type metricSet struct {
 	inFlight       *obs.Gauge // sim_in_flight_flits
 
 	cyclesPerSec *obs.FloatGauge // sim_cycles_per_sec
+
+	batchReplicas     *obs.Gauge      // sim_batch_replicas
+	batchActive       *obs.Gauge      // sim_batch_replicas_active
+	batchCyclesPerSec *obs.FloatGauge // sim_batch_cycles_per_sec
 }
 
 // simMet is the process-wide metric set; nil (the default) disables all
@@ -69,6 +73,10 @@ func EnableMetrics(reg *obs.Registry) {
 		activeNIs:      reg.Gauge("sim_active_nis", "NIs on the active set at last publish"),
 		inFlight:       reg.Gauge("sim_in_flight_flits", "flits inside routers and channels at last publish"),
 		cyclesPerSec:   reg.FloatGauge("sim_cycles_per_sec", "simulated cycles per wall second of the last finished run"),
+
+		batchReplicas:     reg.Gauge("sim_batch_replicas", "replicas in the most recently started batch"),
+		batchActive:       reg.Gauge("sim_batch_replicas_active", "batch replicas currently running"),
+		batchCyclesPerSec: reg.FloatGauge("sim_batch_cycles_per_sec", "aggregate simulated cycles per wall second of the last finished batch"),
 	}
 	simMet.Store(m)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"time"
@@ -46,7 +47,46 @@ func RunMany(ctx context.Context, cfgs []Config, workers int) ([]Result, error) 
 
 // RunManyAgg is RunMany plus the batch's aggregate simulated-cycles/sec, so
 // sweeps can report simulation throughput alongside their results.
+//
+// When every config is identical except for Seed — the replica-sweep shape —
+// the runs are routed to the batch engine (sim.Batch): one shared immutable
+// network description, per-replica mutable state, same per-run results and
+// error wrapping. Anything else, including a batch whose shared config fails
+// validation, takes the worker pool below so per-index errors are preserved.
 func RunManyAgg(ctx context.Context, cfgs []Config, workers int) ([]Result, Agg, error) {
+	if seeds, base, ok := seedVariants(cfgs); ok {
+		if b, err := NewBatch(base, seeds); err == nil {
+			return b.Run(ctx, workers)
+		}
+	}
+	return runManyPool(ctx, cfgs, workers)
+}
+
+// seedVariants reports whether cfgs is a replica sweep: at least two configs
+// that are deeply equal once their Seeds are normalized. Patterns, traces
+// and mixes compare by value (reflect.DeepEqual), so sharing the same
+// Pattern object and constructing equal ones both qualify.
+func seedVariants(cfgs []Config) ([]uint64, Config, bool) {
+	if len(cfgs) < 2 {
+		return nil, Config{}, false
+	}
+	base := cfgs[0]
+	seeds := make([]uint64, len(cfgs))
+	seeds[0] = base.Seed
+	for i := 1; i < len(cfgs); i++ {
+		c := cfgs[i]
+		seeds[i] = c.Seed
+		c.Seed = base.Seed
+		if !reflect.DeepEqual(c, base) {
+			return nil, Config{}, false
+		}
+	}
+	return seeds, base, true
+}
+
+// runManyPool is the general path: one simulator per config, built and run
+// inside a bounded worker pool.
+func runManyPool(ctx context.Context, cfgs []Config, workers int) ([]Result, Agg, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -36,6 +36,77 @@ func TestRunManyMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSeedVariantsDetection pins when RunManyAgg routes to the batch engine:
+// two or more configs that differ only by Seed qualify; anything else —
+// a single config, or any other field differing — takes the worker pool.
+func TestSeedVariantsDetection(t *testing.T) {
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
+	a, b := base, base
+	a.Seed, b.Seed = 3, 9
+	seeds, shared, ok := seedVariants([]Config{a, b})
+	if !ok || len(seeds) != 2 || seeds[0] != 3 || seeds[1] != 9 {
+		t.Fatalf("seed sweep not detected: %v %v", seeds, ok)
+	}
+	if shared.Seed != 3 {
+		t.Fatalf("base config seed = %d, want the first config's", shared.Seed)
+	}
+	if _, _, ok := seedVariants([]Config{a}); ok {
+		t.Fatal("single config must not batch")
+	}
+	c := b
+	c.InjectionRate += 0.01
+	if _, _, ok := seedVariants([]Config{a, c}); ok {
+		t.Fatal("configs differing beyond Seed must not batch")
+	}
+	d := b
+	d.Pattern = traffic.Transpose(4)
+	if _, _, ok := seedVariants([]Config{a, d}); ok {
+		t.Fatal("different patterns must not batch")
+	}
+}
+
+// TestRunManyAggBatchMatchesPool drives the same seed sweep through the
+// batched path (RunManyAgg's auto-selection) and the worker pool, and
+// requires bit-identical per-replica results.
+func TestRunManyAggBatchMatchesPool(t *testing.T) {
+	cfg := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.03)
+	cfg.Measure = 2000
+	cfgs := ReplicaConfigs(cfg, 5)
+	batch, _, err := RunManyAgg(context.Background(), cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, _, err := runManyPool(context.Background(), cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if batch[i].WithoutTiming() != pool[i].WithoutTiming() {
+			t.Fatalf("replica %d diverged between batch and pool:\n%v\n%v", i, batch[i], pool[i])
+		}
+	}
+}
+
+// TestRunManyAggBatchBadConfigJoin: a seed sweep whose shared config is
+// invalid cannot build a batch; the pool fallback must preserve the
+// partial-results contract of one indexed error per run.
+func TestRunManyAggBatchBadConfigJoin(t *testing.T) {
+	bad := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
+	bad.InjectionRate = 7
+	results, _, err := RunManyAgg(context.Background(), ReplicaConfigs(bad, 3), 2)
+	if err == nil {
+		t.Fatal("invalid batch config not reported")
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, want := range []string{"run 0", "run 1", "run 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
 func TestRunManyPropagatesErrors(t *testing.T) {
 	good := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.02)
 	bad := good

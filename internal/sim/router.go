@@ -20,6 +20,12 @@ type creditEvt struct {
 // to their Manhattan length (they are segmented into unit-length repeatered
 // wires, Section 2.2).
 type channel struct {
+	// nextAt caches the front delivery's due time while the queue is
+	// non-empty (pushes carry monotonically increasing due times, so the
+	// front only changes on push-to-empty and pop). The delivery phase
+	// checks it instead of touching the ring storage of channels whose
+	// flits are still in flight.
+	nextAt   int64
 	latency  int64
 	lenUnits int64
 	idx      int // position in Simulator.channels: the deterministic delivery order
@@ -30,14 +36,23 @@ type channel struct {
 	q        delivRing // FIFO ordered by delivery time
 }
 
-func (ch *channel) push(d delivery) { ch.q.push(d) }
+func (ch *channel) push(d delivery) {
+	if ch.q.len() == 0 {
+		ch.nextAt = d.at
+	}
+	ch.q.push(d)
+}
 
 // popReady removes and returns the next flit due at or before now.
 func (ch *channel) popReady(now int64) (delivery, bool) {
 	if ch.q.len() == 0 || ch.q.front().at > now {
 		return delivery{}, false
 	}
-	return ch.q.popFront(), true
+	d := ch.q.popFront()
+	if ch.q.len() > 0 {
+		ch.nextAt = ch.q.front().at
+	}
+	return d, true
 }
 
 func (ch *channel) inFlight() int { return ch.q.len() }
@@ -106,6 +121,16 @@ type router struct {
 	portOcc uint64
 	inMask  uint64 // low len(in) bits set; masks rotated nomination words
 	wide    bool
+
+	// wakeAt lets step skip this router's allocator entirely until the given
+	// cycle. routerCycle sets it only when it can prove every earlier cycle
+	// is a no-op: no VC was nominated this cycle, and every occupied VC is
+	// fully routed and VC-allocated, blocked solely on its front flit's
+	// pipeline readyAt — so until the earliest readyAt, re-running the
+	// allocator would change no state. Any flit delivery resets it to 0,
+	// because a new arrival can need route computation before the cached
+	// wake time. Routers on the wide scan path never set it.
+	wakeAt int64
 
 	// Routing tables (Fig. 3b): next-hop positions along the row/column and
 	// the output port reaching each neighbor.

@@ -86,6 +86,71 @@ func TestRunManyAggMidBatchCancel(t *testing.T) {
 	}
 }
 
+// TestBatchMidRunCancel cancels a seed sweep running on the batched engine
+// (all replicas start immediately, unlike the pool's dispatch queue) and
+// checks the same partial-results contract: one indexed ErrCancelled error
+// per replica, and every replica keeps the partial Result measured so far.
+func TestBatchMidRunCancel(t *testing.T) {
+	cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 100, 1<<30, 1000 // endless measurement
+	cfgs := ReplicaConfigs(cfg, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	results, _, err := RunManyAgg(ctx, cfgs, 2)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("err %T is not a joined error", err)
+	}
+	if n := len(joined.Unwrap()); n != len(cfgs) {
+		t.Fatalf("joined error has %d members, want %d (every replica was in flight)", n, len(cfgs))
+	}
+	if len(results) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(results), len(cfgs))
+	}
+	for i, r := range results {
+		if r.Truncated != TruncatedCancelled {
+			t.Fatalf("replica %d Truncated = %q, want %q", i, r.Truncated, TruncatedCancelled)
+		}
+		if r.Cycles == 0 {
+			t.Fatalf("replica %d lost its partial result: %+v", i, r)
+		}
+		if r.Drained {
+			t.Fatalf("replica %d claims to have drained after cancellation", i)
+		}
+	}
+}
+
+// TestFindSaturationReplicas runs the saturation search with replicated
+// probes and checks it still finds a knee on the batched path.
+func TestFindSaturationReplicas(t *testing.T) {
+	base := quickCfg(topo.Mesh(4), 1, traffic.UniformRandom(4), 0)
+	base.Warmup, base.Measure, base.Drain = 300, 1500, 5000
+	opts := DefaultSaturationOpts()
+	opts.Refine = 2
+	opts.Replicas = 3
+	sr, err := FindSaturation(context.Background(), base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Saturation <= 0 || sr.SatRate <= 0 {
+		t.Fatalf("no saturation point found: %+v", sr)
+	}
+	if sr.SimCycles == 0 {
+		t.Fatal("replicated sweep reported no simulated cycles")
+	}
+	for i := 1; i < len(sr.Points); i++ {
+		if sr.Points[i-1].Rate > sr.Points[i].Rate {
+			t.Fatalf("points out of order at %d: %+v", i, sr.Points)
+		}
+	}
+}
+
 // TestFindSaturationPointsSorted checks that the sweep's data points come
 // back sorted by offered rate even though refinement probes rates out of
 // order, and that the reported saturation point is itself among the points.

@@ -6,7 +6,6 @@ import (
 	"math/bits"
 	"time"
 
-	"explink/internal/model"
 	"explink/internal/runctl"
 	"explink/internal/stats"
 )
@@ -50,6 +49,16 @@ type Simulator struct {
 	hardEnd       int64
 	deadlock      bool
 	truncated     TruncateReason
+
+	// Terminal run state, latched by advance: once finished is set the run
+	// loop never re-enters, drained records a clean drain and runErr the
+	// failure (deadlock, audit, cancellation) if any. Splitting the loop
+	// into budgeted advance calls is what lets sim.Batch interleave many
+	// replicas on one goroutine without changing any replica's cycle
+	// sequence.
+	finished bool
+	drained  bool
+	runErr   error
 
 	// audit is the opt-in per-cycle invariant auditor (Config.Audit); nil in
 	// normal runs, where its only cost is one nil check per switch grant.
@@ -102,34 +111,15 @@ type Simulator struct {
 
 // New builds a simulator for the config. The config is validated and
 // defaulted; New returns an error rather than panicking on bad input.
+// Internally it is the shared-description path used by sim.Batch with a
+// single replica: newShared builds the seed-independent network description,
+// instantiate carves the replica's mutable state over it.
 func New(cfg Config) (*Simulator, error) {
-	if err := cfg.normalize(); err != nil {
+	sh, err := newShared(cfg)
+	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{
-		cfg: cfg,
-		col: newCollector(),
-		rng: stats.NewRNG(cfg.Seed),
-	}
-	s.buildNetwork()
-
-	s.mixCum = make([]float64, len(cfg.Mix))
-	s.mixFlits = make([]int, len(cfg.Mix))
-	cum := 0.0
-	for i, c := range cfg.Mix {
-		cum += c.Frac
-		s.mixCum[i] = cum
-		s.mixFlits[i] = model.FlitsFor(c.Bits, cfg.WidthBits)
-	}
-	s.warmEnd = int64(cfg.Warmup)
-	s.measEnd = int64(cfg.Warmup + cfg.Measure)
-	s.hardEnd = s.measEnd + int64(cfg.Drain)
-	s.lastProgress = 0
-	if cfg.Audit {
-		s.audit = newAuditor(s)
-	}
-	s.met = simMet.Load()
-	return s, nil
+	return sh.instantiate(sh.cfg.Seed), nil
 }
 
 // ctxCheckMask throttles the context poll in the run loop: the context is
@@ -159,44 +149,75 @@ func (s *Simulator) Run(ctx context.Context) (Result, error) {
 	if s.met != nil {
 		s.met.runsStarted.Inc()
 	}
-	drained := false
-	var runErr error
+	for !s.advance(ctx, 1<<62) {
+	}
+	return s.finish(start), s.runErr
+}
+
+// advance executes up to budget cycles of the run loop and reports whether
+// the run has ended (drained, drain-limit truncation, deadlock, audit
+// failure or cancellation). The terminal outcome is latched in s.drained,
+// s.truncated and s.runErr; once finished, further calls return true without
+// touching the engine. Budget boundaries are invisible to the simulation:
+// advancing in chunks executes exactly the same cycle sequence as one
+// unbounded call, which is the single-run-equivalence contract sim.Batch
+// relies on to interleave replicas.
+func (s *Simulator) advance(ctx context.Context, budget int64) bool {
+	if s.finished {
+		return true
+	}
+	limit := s.now + budget
 	for {
 		if s.now >= s.measEnd && s.taggedDone == s.taggedCreated && s.inFlightFlits == 0 {
-			drained = true
-			break
+			s.drained = true
+			s.finished = true
+			return true
 		}
 		if s.now >= s.hardEnd {
 			s.truncated = TruncatedDrainLimit
-			break
+			s.finished = true
+			return true
 		}
 		if stall := s.now - s.lastProgress; s.inFlightFlits > 0 && stall > int64(s.cfg.ProgressTimeout) {
 			s.deadlock = true
 			s.truncated = TruncatedDeadlock
-			runErr = &DeadlockError{Cycle: s.now, Stall: stall, Report: s.deadlockReport()}
-			break
+			s.runErr = &DeadlockError{Cycle: s.now, Stall: stall, Report: s.deadlockReport()}
+			s.finished = true
+			return true
 		}
 		if s.now&ctxCheckMask == 0 {
 			if ctx.Err() != nil {
 				s.truncated = TruncatedCancelled
-				runErr = fmt.Errorf("sim: run cancelled at cycle %d: %w", s.now, runctl.Cancelled(ctx))
-				break
+				s.runErr = fmt.Errorf("sim: run cancelled at cycle %d: %w", s.now, runctl.Cancelled(ctx))
+				s.finished = true
+				return true
 			}
 			if s.met != nil {
 				s.publishObs()
 			}
 		}
+		if s.now >= limit {
+			return false
+		}
 		s.step()
 		if s.audit != nil {
 			if err := s.audit.check(s.now); err != nil {
 				s.truncated = TruncatedAudit
-				runErr = err
-				break
+				s.runErr = err
+				s.finished = true
+				return true
 			}
 		}
 		s.now++
 	}
-	res := s.result(drained)
+}
+
+// finish stamps wall-clock timing onto the terminal Result and publishes the
+// final metric deltas. start is when this run — or the batch interleaving it
+// — began, so under sim.Batch a replica's WallTime is the batch elapsed time
+// at its finish, not its exclusive CPU time.
+func (s *Simulator) finish(start time.Time) Result {
+	res := s.result(s.drained)
 	res.WallTime = time.Since(start)
 	if sec := res.WallTime.Seconds(); sec > 0 {
 		res.CyclesPerSec = float64(res.Cycles) / sec
@@ -210,7 +231,7 @@ func (s *Simulator) Run(ctx context.Context) (Result, error) {
 			s.met.watchdogFired.Inc()
 		}
 	}
-	return res, runErr
+	return res
 }
 
 func (s *Simulator) result(drained bool) Result {
@@ -258,11 +279,16 @@ func (s *Simulator) step() {
 	// Flit deliveries due now, in channel-index order. Grants activate
 	// channels for the next cycle; a channel's bit clears when it empties.
 	// No delivery pushes onto a channel, so snapshotting each word is safe.
+	// Channels whose earliest flit is still mid-wire keep their bit but
+	// skip the ring entirely (nextAt caches the front's due time).
 	for wi, w := range s.chAct {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
 			w &= w - 1
 			ch := s.channels[wi<<6+tz]
+			if ch.nextAt > now {
+				continue
+			}
 			for {
 				d, ok := ch.popReady(now)
 				if !ok {
@@ -344,12 +370,17 @@ func (s *Simulator) step() {
 	// with occupied > 0 (the guard of the full scan this replaces), and
 	// routers never activate each other within this phase — grants land at
 	// strictly later cycles — so clearing drained bits while scanning a
-	// snapshot of each word is safe.
+	// snapshot of each word is safe. A router sleeping until wakeAt keeps
+	// its bit (the auditor's active-set invariant is occupied ⇒ marked) but
+	// skips the allocator: routerCycle proved those cycles are no-ops.
 	for wi, w := range s.rtrAct {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)
 			w &= w - 1
 			r := s.routers[wi<<6+tz]
+			if r.wakeAt > now {
+				continue
+			}
 			s.routerCycle(r)
 			if r.occupied == 0 {
 				s.rtrAct[wi] &^= 1 << uint(tz)
@@ -481,6 +512,7 @@ func (s *Simulator) deliverFlit(r *router, port int, d delivery, arrival int64) 
 	if !r.wide {
 		r.portOcc |= 1 << uint(port)
 	}
+	r.wakeAt = 0 // a new arrival invalidates any cached no-op window
 	s.rtrAct[uint(r.id)>>6] |= 1 << (uint(r.id) & 63)
 	s.counts.BufferWrites++
 	if d.f.isHead() && ip.ni != nil && d.f.pkt.injected < 0 {
@@ -506,8 +538,47 @@ func (s *Simulator) routerCycle(r *router) {
 		return
 	}
 	now := s.now
+
+	// Solo fast path: exactly one occupied VC in the whole router — the
+	// overwhelmingly common case below saturation, where a single packet
+	// streams through. The full allocator's rotations and two-stage
+	// arbitration collapse to a direct grant: with one candidate, every
+	// round-robin scan selects it, and the only persistent updates the
+	// general path would make are exactly the ones below (RC/VA state, the
+	// VCAllocs count, op.rrIn before the grant, and grantSwitch's effects).
+	if pm := r.portOcc; pm&(pm-1) == 0 {
+		pi := bits.TrailingZeros64(pm)
+		ip := &r.in[pi]
+		if occ := ip.occ; occ&(occ-1) == 0 {
+			vi := bits.TrailingZeros64(occ)
+			vc := &ip.vcs[vi]
+			if ip.pend != 0 { // pend ⊆ occ, so pend == occ here
+				s.routeAndAllocVC(r, ip, pi, vi, vc)
+			}
+			if vc.outPort >= 0 && vc.outVC >= 0 {
+				if vc.frontReady > now {
+					// Routed, allocated, waiting only on the pipeline:
+					// every cycle before frontReady is provably a no-op.
+					r.wakeAt = vc.frontReady
+					return
+				}
+				op := &r.out[vc.outPort]
+				if op.isEject || op.credits[vc.outVC] > 0 {
+					op.rrIn = pi + 1
+					if op.rrIn == len(r.in) {
+						op.rrIn = 0
+					}
+					s.grantSwitch(r, pi, vi)
+				}
+			}
+			return
+		}
+	}
+
 	s.outReq = s.outReq[:0]
 	var nomMask uint64 // ports whose inCand entry is a live nomination
+	sleepOK := true    // no occupied VC blocked on anything but time
+	minReady := int64(1<<63 - 1)
 	for pm := r.portOcc; pm != 0; pm &= pm - 1 {
 		pi := bits.TrailingZeros64(pm)
 		ip := &r.in[pi]
@@ -520,45 +591,43 @@ func (s *Simulator) routerCycle(r *router) {
 		// pending for a retry next cycle.
 		for m := ip.pend; m != 0; m &= m - 1 {
 			vi := bits.TrailingZeros64(m)
-			vc := &ip.vcs[vi]
-			fe := vc.fifo.front()
-			if fe.f.isHead() && vc.outPort < 0 {
-				p := fe.f.pkt
-				if tab := r.routeTabs[b2i(p.yx)]; tab != nil {
-					vc.outPort = tab[p.dst]
-				} else {
-					vc.outPort = r.routeFlit(p.dst, s.w, s.k, p.yx)
-				}
-			}
-			if vc.outPort >= 0 && vc.outVC < 0 {
-				op := &r.out[vc.outPort]
-				lo, hi := s.vcClass(fe.f.pkt.yx)
-				span := hi - lo
-				for k := 0; k < span; k++ {
-					cand := op.rrVC + k
-					if cand >= span {
-						cand -= span
-					}
-					cand += lo
-					if op.holder[cand] < 0 {
-						op.holder[cand] = int32(pi)<<16 | int32(vi)
-						vc.outVC = int32(cand)
-						op.rrVC = cand - lo + 1
-						if op.rrVC == span {
-							op.rrVC = 0
-						}
-						s.counts.VCAllocs++
-						break
-					}
-				}
-			}
-			if vc.outVC >= 0 {
-				ip.pend &^= 1 << uint(vi)
-			}
+			s.routeAndAllocVC(r, ip, pi, vi, &ip.vcs[vi])
 		}
 
 		// Switch allocation, stage 1: the port nominates its first eligible
-		// VC in round-robin order from rrVC.
+		// VC in round-robin order from rrVC. The skip reasons double as the
+		// wake-skip classification: a VC blocked only on its pipeline
+		// readyAt contributes a wake time; any other blocker (VC allocation
+		// retry, exhausted credits) can clear without the clock advancing,
+		// so it forbids sleeping.
+		if occ&(occ-1) == 0 {
+			// One occupied VC: the rotated scan below would visit exactly
+			// this VC, so run its body directly without the rotation.
+			vi := bits.TrailingZeros64(occ)
+			vc := &ip.vcs[vi]
+			if vc.outPort < 0 || vc.outVC < 0 {
+				sleepOK = false
+				continue
+			}
+			if vc.frontReady > now {
+				if vc.frontReady < minReady {
+					minReady = vc.frontReady
+				}
+				continue
+			}
+			op := &r.out[vc.outPort]
+			if !op.isEject && op.credits[vc.outVC] <= 0 {
+				sleepOK = false
+				continue
+			}
+			s.inCand[pi] = vi
+			nomMask |= 1 << uint(pi)
+			if !op.reqd {
+				op.reqd = true
+				s.outReq = append(s.outReq, int(vc.outPort))
+			}
+			continue
+		}
 		nv := uint(len(ip.vcs))
 		rr := uint(ip.rrVC)
 		rot := (occ>>rr | occ<<(nv-rr)) & s.vcMask
@@ -568,11 +637,19 @@ func (s *Simulator) routerCycle(r *router) {
 				vi -= int(nv)
 			}
 			vc := &ip.vcs[vi]
-			if vc.frontReady > now || vc.outPort < 0 || vc.outVC < 0 {
+			if vc.outPort < 0 || vc.outVC < 0 {
+				sleepOK = false
+				continue
+			}
+			if vc.frontReady > now {
+				if vc.frontReady < minReady {
+					minReady = vc.frontReady
+				}
 				continue
 			}
 			op := &r.out[vc.outPort]
 			if !op.isEject && op.credits[vc.outVC] <= 0 {
+				sleepOK = false
 				continue
 			}
 			s.inCand[pi] = vi
@@ -583,6 +660,15 @@ func (s *Simulator) routerCycle(r *router) {
 			}
 			break
 		}
+	}
+
+	// With no nominations anywhere and every occupied VC waiting only on its
+	// pipeline, the cycles up to the earliest readyAt are proven no-ops.
+	if nomMask == 0 {
+		if sleepOK && minReady != 1<<63-1 {
+			r.wakeAt = minReady
+		}
+		return
 	}
 
 	// Stage 2: each requested output port grants one nominating input, in
@@ -613,6 +699,46 @@ func (s *Simulator) routerCycle(r *router) {
 			s.grantSwitch(r, pi, vi)
 			break
 		}
+	}
+}
+
+// routeAndAllocVC performs route computation and VC allocation for the front
+// flit of one pending VC, clearing its pend bit once fully assigned. A failed
+// VC allocation leaves the bit set for a retry next cycle.
+func (s *Simulator) routeAndAllocVC(r *router, ip *inPort, pi, vi int, vc *vcState) {
+	fe := vc.fifo.front()
+	if fe.f.isHead() && vc.outPort < 0 {
+		p := fe.f.pkt
+		if tab := r.routeTabs[b2i(p.yx)]; tab != nil {
+			vc.outPort = tab[p.dst]
+		} else {
+			vc.outPort = r.routeFlit(p.dst, s.w, s.k, p.yx)
+		}
+	}
+	if vc.outPort >= 0 && vc.outVC < 0 {
+		op := &r.out[vc.outPort]
+		lo, hi := s.vcClass(fe.f.pkt.yx)
+		span := hi - lo
+		for k := 0; k < span; k++ {
+			cand := op.rrVC + k
+			if cand >= span {
+				cand -= span
+			}
+			cand += lo
+			if op.holder[cand] < 0 {
+				op.holder[cand] = int32(pi)<<16 | int32(vi)
+				vc.outVC = int32(cand)
+				op.rrVC = cand - lo + 1
+				if op.rrVC == span {
+					op.rrVC = 0
+				}
+				s.counts.VCAllocs++
+				break
+			}
+		}
+	}
+	if vc.outVC >= 0 {
+		ip.pend &^= 1 << uint(vi)
 	}
 }
 

@@ -42,6 +42,12 @@ type SaturationOpts struct {
 	// Refine bisection steps between the last stable and first saturated
 	// rate.
 	Refine int
+	// Replicas runs every probe as this many seed replicas on the batch
+	// engine and aggregates them (AggregateReplicas): a probe is stable only
+	// if every replica drained without a deadlock, so the detected knee is
+	// robust to a lucky seed. 0 or 1 probes once with the base seed, which
+	// is bit-identical to the pre-replica behaviour.
+	Replicas int
 }
 
 // DefaultSaturationOpts matches common NoC methodology: latency blowing past
@@ -76,6 +82,20 @@ func FindSaturation(ctx context.Context, base Config, opts SaturationOpts) (sr S
 	runAt := func(rate float64) (Result, error) {
 		cfg := base
 		cfg.InjectionRate = rate
+		if opts.Replicas > 1 {
+			results, agg, err := RunManyAgg(ctx, ReplicaConfigs(cfg, opts.Replicas), 0)
+			res := AggregateReplicas(results)
+			sr.SimCycles += agg.SimCycles
+			sr.WallTime += agg.WallTime
+			if err != nil && errors.Is(err, ErrDeadlock) &&
+				!errors.Is(err, ErrCancelled) && !errors.Is(err, ErrAudit) && !errors.Is(err, ErrConfig) {
+				// Only deadlocks among the replica failures: a saturation
+				// signal, not a sweep failure. DeadlockSuspected is set on
+				// the aggregate, so stable() rejects the point.
+				err = nil
+			}
+			return res, err
+		}
 		s, err := New(cfg)
 		if err != nil {
 			return Result{}, err

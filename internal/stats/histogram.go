@@ -74,9 +74,17 @@ func (h *Histogram) count(v int) int64 {
 // truncating instead would e.g. report the 9th smallest of 10 samples as p95.
 // Multiplying before dividing keeps the common integer-p cases exact (99·N is
 // representable, 99/100 is not), so ceil never rounds an exact rank up.
+// Out-of-domain p is clamped: NaN and p <= 0 report the minimum sample,
+// p > 100 the maximum, keeping the float→int conversion below away from the
+// platform-dependent behaviour of converting NaN or out-of-range values.
 func (h *Histogram) Percentile(p float64) int {
 	if h.total == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p <= 0 {
+		p = 0 // rank clamps to 1 below: the minimum sample
+	} else if p > 100 {
+		p = 100
 	}
 	rank := int64(math.Ceil(p * float64(h.total) / 100))
 	if rank < 1 {
@@ -106,8 +114,12 @@ func (h *Histogram) Max() int {
 }
 
 // Merge folds other into h. A zero-value receiver (or operand) is a valid
-// empty histogram.
+// empty histogram, and a nil receiver or operand is a no-op, matching the
+// nil-safe convention of internal/obs.
 func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
 	if other.dense != nil && h.dense == nil {
 		h.dense = make([]int64, histDense)
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -130,6 +131,52 @@ func TestHistogramZeroValue(t *testing.T) {
 	dst.Merge(&h)
 	if dst.Count() != 11 {
 		t.Fatalf("merged count = %d", dst.Count())
+	}
+}
+
+// TestHistogramMergeNilSafe pins the nil-safe convention from internal/obs:
+// a nil operand or receiver is a no-op, not a panic.
+func TestHistogramMergeNilSafe(t *testing.T) {
+	h := NewHistogram()
+	h.Add(7)
+	h.Merge(nil)
+	if h.Count() != 1 || h.Percentile(50) != 7 {
+		t.Fatalf("Merge(nil) corrupted state: %s", h)
+	}
+	var nilRecv *Histogram
+	nilRecv.Merge(h) // must not panic
+	nilRecv.Merge(nil)
+}
+
+// TestHistogramPercentileDomain pins the clamping of out-of-domain p: the
+// documented contract is 0 < p <= 100, and NaN or out-of-range p previously
+// reached int64(math.Ceil(...)) with platform-dependent results.
+func TestHistogramPercentileDomain(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 10; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		name string
+		p    float64
+		want int
+	}{
+		{"nan", math.NaN(), 1},
+		{"zero", 0, 1},
+		{"negative", -5, 1},
+		{"neg-inf", math.Inf(-1), 1},
+		{"tiny", 1e-300, 1}, // in-domain: rank ceil(>0) = 1
+		{"over", 150, 10},
+		{"pos-inf", math.Inf(1), 10},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("%s: Percentile(%g) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+	// An empty histogram still answers 0 regardless of p.
+	if got := NewHistogram().Percentile(math.NaN()); got != 0 {
+		t.Errorf("empty Percentile(NaN) = %d, want 0", got)
 	}
 }
 

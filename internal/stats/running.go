@@ -30,11 +30,18 @@ func (s *Running) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
-// AddN incorporates the same sample value n times.
+// AddN incorporates the same sample value n times in O(1): a batch of n
+// equal samples is a Running{n, mean: x, m2: 0}, folded in with the same
+// parallel-variance formula Merge uses. From an empty accumulator this is
+// bit-identical to calling Add n times (both yield {n, x, 0}); from a
+// non-empty one it is the exact closed form of the same update, differing
+// from the loop only in floating-point rounding order. n <= 0 is a no-op.
 func (s *Running) AddN(x float64, n int64) {
-	for i := int64(0); i < n; i++ {
-		s.Add(x)
+	if n <= 0 {
+		return
 	}
+	batch := Running{n: n, mean: x, min: x, max: x}
+	s.Merge(&batch)
 }
 
 // Count returns the number of samples seen.
@@ -67,8 +74,10 @@ func (s *Running) Min() float64 { return s.min }
 func (s *Running) Max() float64 { return s.max }
 
 // Merge folds other into s, as if all of other's samples had been added to s.
+// A nil or empty operand is a no-op, matching the nil-safe convention of
+// internal/obs; a nil receiver is likewise a no-op.
 func (s *Running) Merge(other *Running) {
-	if other.n == 0 {
+	if s == nil || other == nil || other.n == 0 {
 		return
 	}
 	if s.n == 0 {

@@ -100,13 +100,94 @@ func TestRunningMergeEqualsSequential(t *testing.T) {
 	}
 }
 
-func TestRunningAddN(t *testing.T) {
-	var a, b Running
-	a.AddN(3.5, 4)
-	for i := 0; i < 4; i++ {
-		b.Add(3.5)
+// TestRunningAddNExactFromEmpty pins the closed-form AddN against the old
+// Add loop bit-for-bit on the integer latency values the simulator feeds it:
+// from an empty accumulator both produce exactly {n, mean: x, m2: 0}, with no
+// floating-point rounding anywhere, for any count.
+func TestRunningAddNExactFromEmpty(t *testing.T) {
+	for _, x := range []float64{0, 1, 7, 13, 42, 255, 4095, 1e6, 3.5} {
+		for _, n := range []int64{1, 2, 3, 10, 1000, 1 << 20} {
+			var a, b Running
+			a.AddN(x, n)
+			loop := n
+			if loop > 1000 {
+				loop = 1000 // the loop reference is O(n); large n is pinned analytically below
+			}
+			for i := int64(0); i < loop; i++ {
+				b.Add(x)
+			}
+			if loop == n && a != b {
+				t.Fatalf("AddN(%g,%d) = %+v, loop = %+v", x, n, a, b)
+			}
+			// Closed-form invariants hold exactly even past the loop cutoff.
+			if a.Count() != n || a.Mean() != x || a.Variance() != 0 || a.Min() != x || a.Max() != x {
+				t.Fatalf("AddN(%g,%d) = %+v, want {n:%d mean:%g m2:0}", x, n, a, n, x)
+			}
+		}
 	}
-	if a.Count() != b.Count() || a.Mean() != b.Mean() {
-		t.Fatalf("AddN mismatch: %v vs %v", a, b)
+}
+
+// TestRunningAddNIsBatchMerge pins AddN's semantics on a non-empty
+// accumulator: it must be bit-identical to merging a loop-built batch of the
+// same samples (the closed-form parallel update), and statistically equal to
+// the plain Add loop.
+func TestRunningAddNIsBatchMerge(t *testing.T) {
+	seedVals := []float64{3, 4, 4, 9, 17}
+	for _, x := range []float64{0, 5, 12, 300} {
+		for _, n := range []int64{1, 2, 7, 64} {
+			var got, want, batch, loop Running
+			for _, v := range seedVals {
+				got.Add(v)
+				want.Add(v)
+				loop.Add(v)
+			}
+			got.AddN(x, n)
+			for i := int64(0); i < n; i++ {
+				batch.Add(x)
+				loop.Add(x)
+			}
+			want.Merge(&batch)
+			if got != want {
+				t.Fatalf("AddN(%g,%d) = %+v, Merge(batch) = %+v", x, n, got, want)
+			}
+			if got.Count() != loop.Count() ||
+				!almostEq(got.Mean(), loop.Mean(), 1e-9*(1+math.Abs(loop.Mean()))) ||
+				!almostEq(got.Variance(), loop.Variance(), 1e-9*(1+loop.Variance())) ||
+				got.Min() != loop.Min() || got.Max() != loop.Max() {
+				t.Fatalf("AddN(%g,%d) = %+v diverged from loop %+v", x, n, got, loop)
+			}
+		}
 	}
+}
+
+func TestRunningAddNNonPositive(t *testing.T) {
+	var s Running
+	s.Add(5)
+	before := s
+	s.AddN(9, 0)
+	s.AddN(9, -3)
+	if s != before {
+		t.Fatalf("AddN with n<=0 mutated state: %+v vs %+v", s, before)
+	}
+}
+
+// TestRunningMergeNilSafe pins the nil-safe convention from internal/obs:
+// nil or empty operands (and a nil receiver) are no-ops, not panics.
+func TestRunningMergeNilSafe(t *testing.T) {
+	var s Running
+	s.Add(2)
+	s.Add(4)
+	before := s
+	s.Merge(nil)
+	if s != before {
+		t.Fatalf("Merge(nil) mutated state: %+v vs %+v", s, before)
+	}
+	var empty Running
+	s.Merge(&empty)
+	if s != before {
+		t.Fatalf("Merge(&zero) mutated state: %+v vs %+v", s, before)
+	}
+	var nilRecv *Running
+	nilRecv.Merge(&s) // must not panic
+	nilRecv.Merge(nil)
 }
