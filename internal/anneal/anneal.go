@@ -52,6 +52,53 @@ func (s Schedule) WithMoves(moves int) Schedule {
 // the average row head latency (serialization is constant at fixed C).
 type Objective func(topo.Row) float64
 
+// MoveObjective is the move-aware counterpart of Objective: instead of
+// scoring arbitrary rows from scratch, it follows the annealer's walk through
+// the connection-matrix space move by move, which lets implementations (the
+// route.Incremental-backed objectives in internal/model) re-route only the
+// dirty region of each single-bit candidate.
+//
+// The annealer drives it with a strict protocol: Init once with the initial
+// matrix, then for every move exactly one Flip followed by either Commit
+// (move accepted) or Revert (move rejected), with at most one Eval in
+// between. Eval is only called on memo misses, so implementations must keep
+// their state in step inside Flip/Commit/Revert, not inside Eval. The matrix
+// passed to Init is owned by the annealer and must not be retained or
+// modified.
+//
+// Implementations must return values bit-identical to the equivalent
+// Objective on the decoded row; the annealer's trajectory, memo behavior and
+// result are then bit-for-bit independent of which interface scored it.
+type MoveObjective interface {
+	// Init adopts the initial state and returns its objective value.
+	Init(m *topo.ConnMatrix) float64
+	// Flip applies the single-bit move FlipAt(bit) to the tracked state.
+	Flip(bit int)
+	// Eval returns the objective value of the tracked state.
+	Eval() float64
+	// Commit accepts the pending move.
+	Commit()
+	// Revert undoes the pending move.
+	Revert()
+}
+
+// funcObjective adapts a plain Objective to the move protocol: it tracks
+// nothing and decodes the annealer's current matrix on every evaluation,
+// exactly like the pre-move-aware search loop did.
+type funcObjective struct {
+	obj Objective
+	m   *topo.ConnMatrix
+}
+
+func (f *funcObjective) Init(m *topo.ConnMatrix) float64 {
+	f.m = m
+	return f.obj(m.Row())
+}
+func (f *funcObjective) Flip(int)      {}
+func (f *funcObjective) Eval() float64 { return f.obj(f.m.Row()) }
+func (f *funcObjective) Commit()       {}
+func (f *funcObjective) Revert()       {}
+
 // Point records the best objective seen after a number of evaluations, used
 // to draw the quality-vs-runtime curves of Fig. 7.
 type Point struct {
@@ -96,15 +143,26 @@ const memoCap = 1 << 20
 // states score identically either way — so results are bit-for-bit equal to
 // the unmemoized search.
 func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Schedule, rng *stats.RNG, record bool) Result {
+	return MinimizeMove(ctx, init, &funcObjective{obj: obj}, sch, rng, record)
+}
+
+// MinimizeMove is Minimize with a move-aware objective: identical search,
+// memo and result semantics, but the objective is informed of every flip,
+// commit and revert so it can evaluate candidates incrementally instead of
+// re-routing the whole row per memo miss. With bit-identical objective
+// values (the MoveObjective contract) the two entry points produce
+// bit-identical results.
+//
+// The best-so-far state lives in a single reusable buffer that improvements
+// copy into; the result matrix and row are materialized once at return
+// instead of cloning inside the accept path.
+func MinimizeMove(ctx context.Context, init *topo.ConnMatrix, mo MoveObjective, sch Schedule, rng *stats.RNG, record bool) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	cur := init.Clone()
-	curRow := cur.Row()
-	curObj := obj(curRow)
+	curObj := mo.Init(cur)
 	res := Result{
-		Matrix:     cur.Clone(),
-		Row:        curRow,
 		Obj:        curObj,
 		Evals:      1,
 		MemoMisses: 1,
@@ -114,7 +172,10 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 	}
 	track := newObsTracker() // nil (free) unless EnableMetrics was called
 	bits := cur.Bits()
+	best := cur.Clone() // best-so-far buffer, reused across improvements
 	if bits == 0 || sch.Moves <= 0 {
+		res.Matrix = best
+		res.Row = best.Row()
 		track.done(&res, sch.T0)
 		return res
 	}
@@ -137,12 +198,16 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 		}
 		i := rng.Intn(bits)
 		cur.FlipAt(i)
-		keyBuf = cur.AppendKey(keyBuf[:0])
+		mo.Flip(i)
+		// Maintain the packed memo key incrementally: AppendKey packs bit i
+		// into byte i>>3 at position i&7, so a single-bit move is one XOR
+		// rather than a full repack. The reject branch undoes it below.
+		keyBuf[i>>3] ^= 1 << (i & 7)
 		candObj, hit := memo[string(keyBuf)]
 		if hit {
 			res.MemoHits++
 		} else {
-			candObj = obj(cur.Row())
+			candObj = mo.Eval()
 			res.MemoMisses++
 			if len(memo) < memoCap {
 				memo[string(keyBuf)] = candObj
@@ -157,6 +222,7 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 		}
 		sinceImprove++
 		if accept {
+			mo.Commit()
 			res.Accepted++
 			if delta > 0 {
 				res.Uphill++
@@ -164,8 +230,7 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 			curObj = candObj
 			if candObj < res.Obj {
 				res.Obj = candObj
-				res.Matrix = cur.Clone()
-				res.Row = cur.Row()
+				best.Copy(cur)
 				sinceImprove = 0
 				if record {
 					res.History = append(res.History, Point{Evals: res.Evals, Best: candObj})
@@ -173,6 +238,8 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 			}
 		} else {
 			cur.FlipAt(i) // revert
+			mo.Revert()
+			keyBuf[i>>3] ^= 1 << (i & 7)
 		}
 
 		if sch.CoolEvery > 0 && move%sch.CoolEvery == 0 && sch.CoolDiv > 0 {
@@ -180,6 +247,8 @@ func Minimize(ctx context.Context, init *topo.ConnMatrix, obj Objective, sch Sch
 			track.flush(&res, temp) // cooldowns are the metrics cadence
 		}
 	}
+	res.Matrix = best
+	res.Row = best.Row()
 	track.done(&res, temp)
 	return res
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"explink/internal/model"
+	"explink/internal/route"
 	"explink/internal/topo"
 )
 
@@ -50,12 +51,17 @@ func optimalRow(n, c int, p model.Params, useBound bool) Result {
 		panic(fmt.Sprintf("bnb: invalid problem P(%d,%d)", n, c))
 	}
 	mesh := topo.MeshRow(n)
-	st := &searcher{n: n, c: c, p: p, obj: model.RowObjective(p), useBound: useBound}
+	st := &searcher{n: n, c: c, p: p, cur: route.NewIncremental(p.Route()), useBound: useBound}
 	st.spans = allSpans(n)
 	st.cuts = make([]int, maxInt(n-1, 0))
-	st.best = Result{Row: mesh, Mean: st.obj(mesh), Evals: 0}
+	st.cur.Reset(mesh)
+	st.best = Result{Row: mesh, Mean: st.cur.Mean(), Evals: 0}
 	st.evals = 1 // the mesh evaluation above
 	if c > 1 {
+		if useBound {
+			st.super = route.NewIncremental(p.Route())
+			st.super.Reset(topo.Row{N: n, Express: st.spans})
+		}
 		st.search(0, topo.Row{N: n})
 	}
 	st.best.Evals = st.evals
@@ -63,10 +69,19 @@ func optimalRow(n, c int, p model.Params, useBound bool) Result {
 	return st.best
 }
 
+// searcher drives the DFS on two incremental evaluators that mirror the tree
+// walk: cur tracks the current partial placement (one span added per include
+// descent), and super tracks the bound superset cur + spans[idx:]. The
+// superset is invariant along include edges (the span moves from "remaining"
+// to "chosen") and loses exactly one span along exclude edges, so every bound
+// evaluation re-routes only that one span's dirty region instead of the whole
+// row. allSpans is duplicate-free and cur and spans[idx:] partition the chosen
+// and remaining candidates, so neither evaluator ever holds a duplicate span.
 type searcher struct {
 	n, c     int
 	p        model.Params
-	obj      func(topo.Row) float64 // scratch-backed row mean
+	cur      *route.Incremental // mirrors the current partial placement
+	super    *route.Incremental // mirrors cur + spans[idx:]; nil when unused
 	spans    []topo.Span
 	cuts     []int // express links currently covering each cut
 	best     Result
@@ -74,30 +89,26 @@ type searcher struct {
 	useBound bool
 }
 
-func (s *searcher) eval(r topo.Row) float64 {
-	s.evals++
-	return s.obj(r)
-}
-
 func (s *searcher) search(idx int, cur topo.Row) {
 	// Bound: the superset of the current row plus every remaining span is at
 	// least as good as anything in this subtree (adding links never lengthens
 	// a shortest path).
 	if s.useBound {
-		super := cur.Clone()
-		super.Express = append(super.Express, s.spans[idx:]...)
-		if s.eval(super) >= s.best.Mean {
+		s.evals++
+		if s.super.Mean() >= s.best.Mean {
 			return
 		}
 	}
 	if idx == len(s.spans) {
-		if m := s.eval(cur); m < s.best.Mean {
+		s.evals++
+		if m := s.cur.Mean(); m < s.best.Mean {
 			s.best.Mean = m
 			s.best.Row = cur.Clone()
 		}
 		return
 	}
 	sp := s.spans[idx]
+	spanBuf := [1]topo.Span{sp}
 	// Branch 1: include the span if every covered cut stays within C-1
 	// express links.
 	feasible := true
@@ -111,13 +122,22 @@ func (s *searcher) search(idx int, cur topo.Row) {
 		for k := sp.From; k < sp.To; k++ {
 			s.cuts[k]++
 		}
+		s.cur.Update(nil, spanBuf[:])
 		s.search(idx+1, cur.Add(sp))
+		s.cur.Revert()
 		for k := sp.From; k < sp.To; k++ {
 			s.cuts[k]--
 		}
 	}
-	// Branch 2: exclude the span.
+	// Branch 2: exclude the span. The superset loses sp (it is no longer
+	// remaining, and was not chosen).
+	if s.useBound {
+		s.super.Update(spanBuf[:], nil)
+	}
 	s.search(idx+1, cur)
+	if s.useBound {
+		s.super.Revert()
+	}
 }
 
 // allSpans lists every candidate express span on a row of n routers in

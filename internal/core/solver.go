@@ -103,6 +103,15 @@ func (s *Solver) rowObjective() func(topo.Row) float64 {
 	}
 }
 
+// moveObjective is rowObjective's move-aware counterpart for the annealer's
+// incremental path; it scores states bit-identically to rowObjective on the
+// decoded row (model.IncObjective's contract), so MinimizeMove results match
+// Minimize-with-rowObjective results bit for bit. Like the closure it owns
+// routing state and must stay on one goroutine.
+func (s *Solver) moveObjective() *model.IncObjective {
+	return model.NewIncObjective(s.Cfg.Params).WithWorstBlend(s.WorstWeight)
+}
+
 // rng derives a deterministic stream per (C, algorithm, salt) so solutions
 // for different limits and lines are independent yet reproducible.
 func (s *Solver) rngFor(c int, algo Algorithm, salt uint64) *stats.RNG {
@@ -150,7 +159,6 @@ func (s *Solver) solveRowUncached(ctx context.Context, c int, algo Algorithm) (R
 		return RowSolution{}, err
 	}
 	n := s.Cfg.N
-	obj := s.rowObjective()
 
 	var row topo.Row
 	var evals int64
@@ -167,7 +175,7 @@ func (s *Solver) solveRowUncached(ctx context.Context, c int, algo Algorithm) (R
 			// The annealer tracks best-so-far starting from the initial
 			// state, so its result is never worse than the D&C placement
 			// under the active objective.
-			res := anneal.Minimize(ctx, m, obj, s.Sched, s.rng(c, algo), false)
+			res := anneal.MinimizeMove(ctx, m, s.moveObjective(), s.Sched, s.rng(c, algo), false)
 			evals += res.Evals
 			row = res.Row
 		}
@@ -175,7 +183,7 @@ func (s *Solver) solveRowUncached(ctx context.Context, c int, algo Algorithm) (R
 		m := topo.NewConnMatrix(n, c)
 		rng := s.rng(c, algo)
 		m.Randomize(func() bool { return rng.Bool(0.5) })
-		res := anneal.Minimize(ctx, m, obj, s.Sched, rng, false)
+		res := anneal.MinimizeMove(ctx, m, s.moveObjective(), s.Sched, rng, false)
 		evals = res.Evals
 		row = res.Row
 	default:

@@ -167,7 +167,6 @@ func (s *Solver) solveLine(ctx context.Context, c int, algo Algorithm, w [][]flo
 func (s *Solver) solveLineUncached(ctx context.Context, c int, algo Algorithm, w [][]float64, salt int64) (topo.Row, int64, error) {
 	t0 := time.Now()
 	n := s.Cfg.N
-	obj := model.WeightedRowObjective(s.Cfg.Params, w)
 
 	var init topo.Row
 	var evals int64
@@ -198,9 +197,10 @@ func (s *Solver) solveLineUncached(ctx context.Context, c int, algo Algorithm, w
 	// best-so-far tracking already starts there, so the guard only fires if
 	// that invariant is ever broken.
 	start := m.Row()
-	startObj := obj(start)
+	startObj := model.WeightedRowMean(start, s.Cfg.Params, w)
 	evals++
-	res := anneal.Minimize(ctx, m, obj, s.Sched, rng, false)
+	mo := model.NewIncObjective(s.Cfg.Params).WithWeights(w)
+	res := anneal.MinimizeMove(ctx, m, mo, s.Sched, rng, false)
 	evals += res.Evals
 	if ctx.Err() != nil {
 		return topo.Row{}, evals, runctl.Cancelled(ctx)

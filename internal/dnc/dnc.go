@@ -15,6 +15,7 @@ import (
 
 	"explink/internal/bnb"
 	"explink/internal/model"
+	"explink/internal/route"
 	"explink/internal/topo"
 )
 
@@ -35,7 +36,7 @@ func Initial(n, c int, p model.Params) Result {
 	if n < 1 || c < 1 {
 		panic(fmt.Sprintf("dnc: invalid problem P(%d,%d)", n, c))
 	}
-	g := &generator{p: p, obj: model.RowObjective(p), memo: make(map[[2]int]Result)}
+	g := &generator{p: p, inc: route.NewIncremental(p.Route()), memo: make(map[[2]int]Result)}
 	res := g.solve(n, c)
 	res.Evals = g.evals
 	return res
@@ -43,7 +44,7 @@ func Initial(n, c int, p model.Params) Result {
 
 type generator struct {
 	p     model.Params
-	obj   func(topo.Row) float64 // scratch-backed row mean, reused across the run
+	inc   *route.Incremental // incremental evaluator, reused across combines
 	evals int64
 	memo  map[[2]int]Result // sub-problem cache: equal halves are solved once
 }
@@ -59,7 +60,7 @@ func (g *generator) solve(n, c int) Result {
 		// No express layer available, or no room for an express span.
 		row := topo.MeshRow(n)
 		g.evals++
-		res = Result{Row: row, Mean: g.obj(row)}
+		res = Result{Row: row, Mean: model.RowMean(row, g.p)}
 	case n <= BaseSize:
 		b := bnb.OptimalRow(n, c, g.p)
 		g.evals += b.Evals
@@ -72,7 +73,13 @@ func (g *generator) solve(n, c int) Result {
 }
 
 // combine implements lines 6-13 of Procedure I(n, C): solve the halves at
-// C-1 and pick the best single crossing express link.
+// C-1 and pick the best single crossing express link. Every candidate is the
+// base placement plus exactly one span, so the O(n²) scan runs on the
+// incremental evaluator: one full re-route for the base, then per candidate
+// only the sources whose paths can cross the added span. Update (not Flip) is
+// used because a crossing candidate (i, h) can duplicate a left-half span
+// ending at the cut; Row semantics keep the multiset, and a duplicate span
+// changes no distance, matching the full evaluation of base.Add bit for bit.
 func (g *generator) combine(n, c int) Result {
 	h := n / 2
 	left := g.solve(h, c-1)
@@ -84,21 +91,31 @@ func (g *generator) combine(n, c int) Result {
 		base.Express = append(base.Express, topo.Span{From: s.From + h, To: s.To + h})
 	}
 
-	best := base
+	g.inc.Reset(base)
 	g.evals++
-	bestMean := g.obj(base)
+	bestMean := g.inc.Mean()
+	bestSpan := topo.Span{}
+	haveBest := false
+	var spanBuf [1]topo.Span
 	for i := 0; i < h; i++ {
 		for j := h; j < n; j++ {
 			if j-i < 2 {
 				continue // adjacent pair is already a local link
 			}
-			cand := base.Add(topo.Span{From: i, To: j})
+			spanBuf[0] = topo.Span{From: i, To: j}
+			g.inc.Update(nil, spanBuf[:])
 			g.evals++
-			if m := g.obj(cand); m < bestMean {
+			m := g.inc.Mean()
+			g.inc.Revert()
+			if m < bestMean {
 				bestMean = m
-				best = cand
+				bestSpan, haveBest = spanBuf[0], true
 			}
 		}
+	}
+	best := base
+	if haveBest {
+		best = base.Add(bestSpan)
 	}
 	return Result{Row: best.Canonical(), Mean: bestMean}
 }

@@ -1,0 +1,126 @@
+package model_test
+
+import (
+	"context"
+	"testing"
+
+	"explink/internal/anneal"
+	"explink/internal/model"
+	"explink/internal/route"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// runPair runs the same annealing search twice — once through the full-eval
+// Objective path, once through the move-aware IncObjective — from identical
+// RNG streams, and asserts the two Results are bit-for-bit identical: same
+// objective, same best matrix and row, same eval/accept/memo accounting. This
+// is the contract that keeps SA trajectories, memo behavior and
+// PlacementStore keys unchanged by the incremental path.
+func runPair(t *testing.T, init *topo.ConnMatrix, obj anneal.Objective, mo anneal.MoveObjective, seed uint64) {
+	t.Helper()
+	sch := anneal.DefaultSchedule().WithMoves(2000)
+	full := anneal.Minimize(context.Background(), init, obj, sch, stats.NewRNG(seed), true)
+	inc := anneal.MinimizeMove(context.Background(), init, mo, sch, stats.NewRNG(seed), true)
+	if full.Obj != inc.Obj {
+		t.Fatalf("Obj: full %v, inc %v", full.Obj, inc.Obj)
+	}
+	if !full.Matrix.Equal(inc.Matrix) {
+		t.Fatalf("best matrices differ:\nfull %v\ninc  %v", full.Matrix, inc.Matrix)
+	}
+	if !full.Row.Equal(inc.Row) {
+		t.Fatalf("best rows differ: full %v, inc %v", full.Row, inc.Row)
+	}
+	if full.Evals != inc.Evals || full.Accepted != inc.Accepted || full.Uphill != inc.Uphill ||
+		full.MemoHits != inc.MemoHits || full.MemoMisses != inc.MemoMisses {
+		t.Fatalf("accounting differs: full {E:%d A:%d U:%d H:%d M:%d}, inc {E:%d A:%d U:%d H:%d M:%d}",
+			full.Evals, full.Accepted, full.Uphill, full.MemoHits, full.MemoMisses,
+			inc.Evals, inc.Accepted, inc.Uphill, inc.MemoHits, inc.MemoMisses)
+	}
+	if len(full.History) != len(inc.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(full.History), len(inc.History))
+	}
+	for i := range full.History {
+		if full.History[i] != inc.History[i] {
+			t.Fatalf("history[%d]: full %+v, inc %+v", i, full.History[i], inc.History[i])
+		}
+	}
+}
+
+func randomInit(n, c int, seed uint64) *topo.ConnMatrix {
+	m := topo.NewConnMatrix(n, c)
+	rng := stats.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+	m.Randomize(func() bool { return rng.Bool(0.5) })
+	return m
+}
+
+func TestIncObjectiveBitIdenticalMean(t *testing.T) {
+	p := model.DefaultParams()
+	for _, size := range []struct{ n, c int }{{4, 2}, {8, 3}, {16, 4}} {
+		init := randomInit(size.n, size.c, uint64(size.n))
+		runPair(t, init, model.RowObjective(p), model.NewIncObjective(p), 42+uint64(size.n))
+	}
+}
+
+func TestIncObjectiveBitIdenticalWeighted(t *testing.T) {
+	p := model.DefaultParams()
+	for _, size := range []struct{ n, c int }{{8, 3}, {16, 4}} {
+		w := make([][]float64, size.n)
+		for i := range w {
+			w[i] = make([]float64, size.n)
+			for j := range w[i] {
+				w[i][j] = float64((i*31+j*17)%9) * 0.5
+			}
+		}
+		init := randomInit(size.n, size.c, 7*uint64(size.n))
+		runPair(t, init, model.WeightedRowObjective(p, w),
+			model.NewIncObjective(p).WithWeights(w), 99+uint64(size.n))
+	}
+}
+
+func TestIncObjectiveBitIdenticalWorstBlend(t *testing.T) {
+	p := model.DefaultParams()
+	for _, blend := range []float64{0.25, 1} {
+		scratch := route.NewScratch()
+		rp := p.Route()
+		obj := func(r topo.Row) float64 {
+			mean, max := scratch.MeanMax(r, rp)
+			return (1-blend)*mean + blend*max
+		}
+		init := randomInit(12, 3, uint64(blend*8))
+		runPair(t, init, obj, model.NewIncObjective(p).WithWorstBlend(blend), 7)
+	}
+}
+
+func TestIncObjectiveProtocolPanics(t *testing.T) {
+	p := model.DefaultParams()
+	for name, fn := range map[string]func(o *model.IncObjective){
+		"flip twice":          func(o *model.IncObjective) { o.Flip(0); o.Flip(1) },
+		"commit without flip": func(o *model.IncObjective) { o.Commit() },
+		"revert without flip": func(o *model.IncObjective) { o.Revert() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			o := model.NewIncObjective(p)
+			o.Init(topo.NewConnMatrix(8, 3))
+			fn(o)
+		}()
+	}
+}
+
+// TestIncObjectiveDoesNotRetainInit pins the Init ownership contract: mutating
+// the annealer's matrix after Init must not disturb the objective's tracking.
+func TestIncObjectiveDoesNotRetainInit(t *testing.T) {
+	p := model.DefaultParams()
+	m := topo.NewConnMatrix(8, 3)
+	o := model.NewIncObjective(p)
+	base := o.Init(m)
+	m.FlipAt(0) // annealer-side mutation, not announced via Flip
+	if got := o.Eval(); got != base {
+		t.Fatalf("Eval after external mutation = %v, want %v (matrix retained?)", got, base)
+	}
+}

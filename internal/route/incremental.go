@@ -1,0 +1,403 @@
+package route
+
+import (
+	"fmt"
+
+	"explink/internal/topo"
+)
+
+// Incremental is a stateful row evaluator for single-span move searches: the
+// simulated-annealing connection-matrix walk, the divide-and-conquer
+// cross-link scan and the branch-and-bound tree all step between placements
+// that differ by a handful of spans. Instead of re-routing all n sources per
+// candidate the way Scratch.MeanMax does, an Incremental keeps the full
+// directional distance matrix of the current row and, on each move,
+// recomputes only the sources whose shortest paths can cross a changed span
+// — resuming each directional sweep at the changed region and stopping early
+// once the recomputed distances reconverge with the stored ones.
+//
+// Every value it returns is bit-identical to the corresponding Scratch
+// evaluation of the same row (Scratch.MeanMax, Scratch.MeanDist,
+// Scratch.WeightedMean): directional shortest distances are unique values
+// independent of edge-relaxation order, and the final reductions accumulate
+// the stored matrix in exactly Scratch's fixed (source-major, destination
+// index) pair order. Searches driven by an Incremental therefore follow
+// bit-for-bit the same trajectory as ones paying a full evaluation per move.
+//
+// Dirty-region invariant (see DESIGN.md §10): a span (a,b) is traversed
+// rightward only by sources i <= a and can only alter their distances at
+// destinations v >= b; leftward only by sources i >= b at destinations
+// v <= a. Pending changed spans are therefore summarized per direction by
+// three integers — the affected-source bound, the sweep resume position and
+// the reconvergence barrier — and a sync recomputes just those row segments.
+//
+// An Incremental is not safe for concurrent use; give each goroutine its own.
+type Incremental struct {
+	n int
+	p Params
+	// Incoming express edges per router, by direction. The local link from
+	// the neighbouring router is implicit: it always exists, so unlike
+	// Scratch the sweeps neither store it nor test for unreachable routers —
+	// every distance in a contiguous row is finite.
+	exRight [][]int
+	exLeft  [][]int
+	cost    []float64 // cost[d] = p.EdgeCost(d), precomputed per unit length
+	dist    []float64 // n x n row-major: dist[i*n+j] = directional shortest i->j
+
+	// Pending dirty region accumulated since the last sync. While dirty,
+	// dist rows are stale only inside the region the aggregates describe.
+	dirty   bool
+	rSrcMax int // rightward: sources 0..rSrcMax may be affected (max From)
+	rFrom   int // rightward sweep resume position (min To)
+	rTo     int // rightward reconvergence barrier (max To)
+	lSrcMin int // leftward: sources lSrcMin..n-1 may be affected (min To)
+	lFrom   int // leftward sweep resume position (max From)
+	lTo     int // leftward reconvergence barrier (min From)
+
+	// Undo log: a flat edit buffer plus per-open-move edit counts. Moves are
+	// closed strictly LIFO by Revert (undo) or Commit (keep).
+	edits   []incEdit
+	moveLen []int
+}
+
+// incEdit records one adjacency mutation of an open move.
+type incEdit struct {
+	s     topo.Span
+	added bool // true if the edit added the span, false if it removed one
+}
+
+// NewIncremental returns an evaluator for the given edge-cost model. Call
+// Reset before the first query; buffers grow to the largest row seen.
+func NewIncremental(p Params) *Incremental { return &Incremental{p: p} }
+
+// N returns the router count of the current row (0 before the first Reset).
+func (inc *Incremental) N() int { return inc.n }
+
+// Reset adopts the row as the new current state: it rebuilds the adjacency,
+// recomputes the full distance matrix and discards any open moves.
+func (inc *Incremental) Reset(row topo.Row) {
+	n := row.N
+	inc.n = n
+	if len(inc.exRight) < n {
+		inc.exRight = append(inc.exRight, make([][]int, n-len(inc.exRight))...)
+		inc.exLeft = append(inc.exLeft, make([][]int, n-len(inc.exLeft))...)
+	}
+	for v := 0; v < n; v++ {
+		inc.exRight[v] = inc.exRight[v][:0]
+		inc.exLeft[v] = inc.exLeft[v][:0]
+	}
+	for _, s := range row.Express {
+		inc.exRight[s.To] = append(inc.exRight[s.To], s.From)
+		inc.exLeft[s.From] = append(inc.exLeft[s.From], s.To)
+	}
+	if len(inc.cost) < n {
+		inc.cost = make([]float64, n)
+		for d := range inc.cost {
+			inc.cost[d] = inc.p.EdgeCost(d)
+		}
+	}
+	if len(inc.dist) < n*n {
+		inc.dist = make([]float64, n*n)
+	}
+	for i := 0; i < n; i++ {
+		inc.dist[i*n+i] = 0
+		inc.sweepRight(i, i+1, n)
+		inc.sweepLeft(i, i-1, -1)
+	}
+	inc.dirty = false
+	inc.edits = inc.edits[:0]
+	inc.moveLen = inc.moveLen[:0]
+}
+
+// Flip opens a move that toggles the presence of each span in order: a span
+// currently in the row is removed (one instance, if it appears several
+// times), an absent one is added. Use Update when a move may add a span that
+// is already present. The move stays open until Revert undoes it or Commit
+// keeps it; open moves close strictly last-in-first-out.
+func (inc *Incremental) Flip(spans ...topo.Span) {
+	start := len(inc.edits)
+	for _, s := range spans {
+		inc.edits = append(inc.edits, incEdit{s: s, added: inc.toggle(s)})
+	}
+	inc.moveLen = append(inc.moveLen, len(inc.edits)-start)
+}
+
+// Update opens a move that removes each span in removed (which must be
+// present, counting multiplicity) and then adds each span in added
+// (duplicates allowed, matching how connection matrices decode). Like Flip
+// it is closed by Revert or Commit.
+func (inc *Incremental) Update(removed, added []topo.Span) {
+	start := len(inc.edits)
+	for _, s := range removed {
+		inc.remove(s)
+		inc.edits = append(inc.edits, incEdit{s: s, added: false})
+	}
+	for _, s := range added {
+		inc.add(s)
+		inc.edits = append(inc.edits, incEdit{s: s, added: true})
+	}
+	inc.moveLen = append(inc.moveLen, len(inc.edits)-start)
+}
+
+// Revert undoes the most recent open move.
+func (inc *Incremental) Revert() {
+	edits := inc.popMove("Revert")
+	for k := len(edits) - 1; k >= 0; k-- {
+		if edits[k].added {
+			inc.remove(edits[k].s)
+		} else {
+			inc.add(edits[k].s)
+		}
+	}
+	inc.edits = inc.edits[:len(inc.edits)-len(edits)]
+}
+
+// Commit accepts the most recent open move, making it part of the current
+// state that later Reverts can no longer touch.
+func (inc *Incremental) Commit() {
+	edits := inc.popMove("Commit")
+	inc.edits = inc.edits[:len(inc.edits)-len(edits)]
+}
+
+func (inc *Incremental) popMove(op string) []incEdit {
+	if len(inc.moveLen) == 0 {
+		panic("route: Incremental." + op + " without a matching Flip/Update")
+	}
+	count := inc.moveLen[len(inc.moveLen)-1]
+	inc.moveLen = inc.moveLen[:len(inc.moveLen)-1]
+	return inc.edits[len(inc.edits)-count:]
+}
+
+// toggle flips the presence of s and reports whether it was added.
+func (inc *Incremental) toggle(s topo.Span) bool {
+	inc.check(s)
+	for _, u := range inc.exRight[s.To] {
+		if u == s.From {
+			inc.remove(s)
+			return false
+		}
+	}
+	inc.add(s)
+	return true
+}
+
+func (inc *Incremental) add(s topo.Span) {
+	inc.check(s)
+	inc.markDirty(s)
+	inc.exRight[s.To] = append(inc.exRight[s.To], s.From)
+	inc.exLeft[s.From] = append(inc.exLeft[s.From], s.To)
+}
+
+func (inc *Incremental) remove(s topo.Span) {
+	inc.check(s)
+	inc.markDirty(s)
+	if !cutEdge(inc.exRight, s.To, s.From) || !cutEdge(inc.exLeft, s.From, s.To) {
+		panic(fmt.Sprintf("route: Incremental removal of absent span %v", s))
+	}
+}
+
+// cutEdge removes one instance of value from lists[at]; edge order within a
+// list is irrelevant to the min-based sweeps, so the last entry fills the gap.
+func cutEdge(lists [][]int, at, value int) bool {
+	l := lists[at]
+	for k, v := range l {
+		if v == value {
+			l[k] = l[len(l)-1]
+			lists[at] = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (inc *Incremental) check(s topo.Span) {
+	if !s.Valid(inc.n) {
+		panic(fmt.Sprintf("route: invalid express span %v on row of %d", s, inc.n))
+	}
+}
+
+// markDirty widens the pending dirty region to cover a changed span. Adding
+// and removing dirty the same region: both invalidate exactly the distances
+// whose shortest paths could cross the span.
+func (inc *Incremental) markDirty(s topo.Span) {
+	if !inc.dirty {
+		inc.dirty = true
+		inc.rSrcMax, inc.rFrom, inc.rTo = s.From, s.To, s.To
+		inc.lSrcMin, inc.lFrom, inc.lTo = s.To, s.From, s.From
+		return
+	}
+	inc.rSrcMax = max(inc.rSrcMax, s.From)
+	inc.rFrom = min(inc.rFrom, s.To)
+	inc.rTo = max(inc.rTo, s.To)
+	inc.lSrcMin = min(inc.lSrcMin, s.To)
+	inc.lFrom = max(inc.lFrom, s.From)
+	inc.lTo = min(inc.lTo, s.From)
+}
+
+// sync brings every stale distance row segment up to date with the adjacency.
+func (inc *Incremental) sync() {
+	if !inc.dirty {
+		return
+	}
+	for i := 0; i <= inc.rSrcMax; i++ {
+		inc.sweepRight(i, inc.rFrom, inc.rTo)
+	}
+	for i := max(inc.lSrcMin, 1); i < inc.n; i++ {
+		inc.sweepLeft(i, inc.lFrom, inc.lTo)
+	}
+	inc.dirty = false
+}
+
+// sweepRight recomputes source i's rightward distances from position `from`
+// (clamped past the source) to the row end, with Scratch.distRow's exact
+// relaxation: the minimum is over the same candidate set with the same
+// per-edge cost values (cost[d] is precomputed by the identical expression),
+// and min is order-independent, so every stored distance is bit-identical to
+// a full evaluation. The local link from v-1 always exists, seeding the
+// minimum without Scratch's reachability guard. Positions left of `from` are
+// unaffected by pending spans, so their stored values feed the resumed
+// recurrence unchanged. The sweep stops at the first position past `barrier`
+// (the rightmost changed-span endpoint) that no changed position can still
+// reach — from there on every position reproduces its stored value.
+func (inc *Incremental) sweepRight(i, from, barrier int) {
+	n := inc.n
+	row := inc.dist[i*n : i*n+n]
+	cost := inc.cost
+	// stop is the reconvergence frontier: the sweep may halt at position v
+	// once v >= stop, because then every changed position u < v reaches at
+	// most position stop <= v directly (locally to u+1, by express to the
+	// targets in exLeft[u], which lists u's outgoing rightward spans), so no
+	// position beyond v can change. It starts at the barrier — every changed
+	// span lands at or before it — and advances as changes are discovered.
+	stop := barrier
+	for v := max(from, i+1); v < n; v++ {
+		best := row[v-1] + cost[1]
+		for _, u := range inc.exRight[v] {
+			if u < i {
+				continue
+			}
+			if c := row[u] + cost[v-u]; c < best {
+				best = c
+			}
+		}
+		if best != row[v] {
+			row[v] = best
+			if v+1 > stop {
+				stop = v + 1
+			}
+			for _, w := range inc.exLeft[v] {
+				if w > stop {
+					stop = w
+				}
+			}
+		}
+		if v >= stop {
+			return
+		}
+	}
+}
+
+// sweepLeft is sweepRight mirrored: it recomputes source i's leftward
+// distances from `from` down to 0, stopping once past `barrier` (the leftmost
+// changed-span endpoint) with no divergence from the stored values.
+func (inc *Incremental) sweepLeft(i, from, barrier int) {
+	row := inc.dist[i*inc.n : i*inc.n+inc.n]
+	cost := inc.cost
+	// Mirrored reconvergence frontier: exRight[v] lists v's outgoing leftward
+	// spans (each span (u, v) is traversed leftward from v down to u).
+	stop := barrier
+	for v := min(from, i-1); v >= 0; v-- {
+		best := row[v+1] + cost[1]
+		for _, u := range inc.exLeft[v] {
+			if u > i {
+				continue
+			}
+			if c := row[u] + cost[u-v]; c < best {
+				best = c
+			}
+		}
+		if best != row[v] {
+			row[v] = best
+			if v-1 < stop {
+				stop = v - 1
+			}
+			for _, w := range inc.exRight[v] {
+				if w < stop {
+					stop = w
+				}
+			}
+		}
+		if v <= stop {
+			return
+		}
+	}
+}
+
+// MeanMax returns the mean and maximum directional pair distance of the
+// current state, bit-identical to Scratch.MeanMax on the equivalent row: the
+// sum accumulates the stored matrix in the same source-major pair order.
+func (inc *Incremental) MeanMax() (mean, maxDist float64) {
+	inc.sync()
+	n := inc.n
+	var sum float64
+	for i := 0; i < n; i++ {
+		row := inc.dist[i*n : i*n+n]
+		for j := 0; j < i; j++ {
+			sum += row[j]
+			if row[j] > maxDist {
+				maxDist = row[j]
+			}
+		}
+		for j := i + 1; j < n; j++ {
+			sum += row[j]
+			if row[j] > maxDist {
+				maxDist = row[j]
+			}
+		}
+	}
+	return sum / float64(n*n), maxDist
+}
+
+// Mean returns the mean directional pair distance of the current state,
+// bit-identical to Scratch.MeanDist on the equivalent row.
+func (inc *Incremental) Mean() float64 {
+	inc.sync()
+	n := inc.n
+	var sum float64
+	for i := 0; i < n; i++ {
+		row := inc.dist[i*n : i*n+n]
+		for j := 0; j < i; j++ {
+			sum += row[j]
+		}
+		for j := i + 1; j < n; j++ {
+			sum += row[j]
+		}
+	}
+	return sum / float64(n*n)
+}
+
+// WeightedMean returns the w-weighted mean pair distance of the current
+// state with Scratch.WeightedMean's exact accumulation order and nil/all-zero
+// fallback contract.
+func (inc *Incremental) WeightedMean(w [][]float64) float64 {
+	inc.sync()
+	n := inc.n
+	var sum, num, den float64
+	for i := 0; i < n; i++ {
+		row := inc.dist[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sum += row[j]
+			if w != nil {
+				num += w[i][j] * row[j]
+				den += w[i][j]
+			}
+		}
+	}
+	if w == nil || den == 0 {
+		return sum / float64(n*n)
+	}
+	return num / den
+}

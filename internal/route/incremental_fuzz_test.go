@@ -1,0 +1,74 @@
+package route
+
+import (
+	"testing"
+
+	"explink/internal/topo"
+)
+
+// FuzzIncrementalVsScratch drives an Incremental through the exact move
+// pattern the solvers use — connection-matrix bit flips translated to span
+// deltas by ConnMatrix.DeltaAt, each then committed or reverted — and pins
+// every intermediate Mean/MeanMax/WeightedMean bit-identical to a full
+// Scratch evaluation of the decoded row. The ops bytes encode the walk: for
+// each byte, the low bits pick the flipped bit index and bit 7 picks
+// commit (1) or revert (0).
+func FuzzIncrementalVsScratch(f *testing.F) {
+	f.Add(uint8(0), []byte{0x00, 0x81, 0x02, 0x83, 0x04})
+	f.Add(uint8(4), []byte{0x80, 0x81, 0x82, 0x83, 0x84, 0x05, 0x86})
+	f.Add(uint8(8), []byte{0xff, 0x7f, 0x80, 0x00, 0xaa, 0x55, 0x91, 0x13})
+	f.Add(uint8(3), []byte{0x90, 0x90, 0x90, 0x21, 0xa1, 0x42, 0xc3})
+
+	sizes := []struct{ n, c int }{
+		{4, 2}, {4, 3}, {4, 4},
+		{8, 2}, {8, 3}, {8, 4},
+		{16, 2}, {16, 3}, {16, 4},
+	}
+	f.Fuzz(func(t *testing.T, size uint8, ops []byte) {
+		sz := sizes[int(size)%len(sizes)]
+		n, c := sz.n, sz.c
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = float64((i*29+j*11)%7) + 0.5
+			}
+		}
+		m := topo.NewConnMatrix(n, c)
+		inc := NewIncremental(testParams)
+		s := NewScratch()
+		inc.Reset(m.Row())
+		var rem, add []topo.Span
+		for step, op := range ops {
+			if len(ops) > 64 && step >= 64 {
+				break // bound per-input work; depth beyond this adds nothing
+			}
+			bit := int(op&0x7f) % m.Bits()
+			rem, add = m.DeltaAt(bit, rem[:0], add[:0])
+			m.FlipAt(bit)
+			inc.Update(rem, add)
+			row := m.Row()
+			wantMean, wantMax := s.MeanMax(row, testParams)
+			gotMean, gotMax := inc.MeanMax()
+			if gotMean != wantMean || gotMax != wantMax {
+				t.Fatalf("step %d flip %d: MeanMax = (%v, %v), want (%v, %v) for row %v",
+					step, bit, gotMean, gotMax, wantMean, wantMax, row)
+			}
+			if got, want := inc.WeightedMean(w), s.WeightedMean(row, testParams, w); got != want {
+				t.Fatalf("step %d flip %d: WeightedMean = %v, want %v", step, bit, got, want)
+			}
+			if op&0x80 != 0 {
+				inc.Commit()
+			} else {
+				m.FlipAt(bit)
+				inc.Revert()
+				wantMean, wantMax = s.MeanMax(m.Row(), testParams)
+				gotMean, gotMax = inc.MeanMax()
+				if gotMean != wantMean || gotMax != wantMax {
+					t.Fatalf("step %d revert %d: MeanMax = (%v, %v), want (%v, %v)",
+						step, bit, gotMean, gotMax, wantMean, wantMax)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package route
+
+import (
+	"testing"
+
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// reference recomputes the full-evaluation answers for the incremental
+// evaluator's current logical row.
+func refMeanMax(row topo.Row) (float64, float64) {
+	return NewScratch().MeanMax(row, testParams)
+}
+
+func TestIncrementalResetMatchesScratch(t *testing.T) {
+	// One evaluator across rows of varying sizes: every Reset must answer
+	// exactly like a fresh Scratch, proving buffer reuse leaks no stale state.
+	rng := stats.NewRNG(7)
+	inc := NewIncremental(testParams)
+	s := NewScratch()
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(14)
+		c := 1 + rng.Intn(6)
+		row := randomRow(rng, n, c)
+		inc.Reset(row)
+		wantMean, wantMax := s.MeanMax(row, testParams)
+		gotMean, gotMax := inc.MeanMax()
+		if gotMean != wantMean || gotMax != wantMax {
+			t.Fatalf("trial %d (row %v): MeanMax = (%v, %v), want (%v, %v)",
+				trial, row, gotMean, gotMax, wantMean, wantMax)
+		}
+		if got := inc.Mean(); got != wantMean {
+			t.Fatalf("trial %d: Mean = %v, want %v", trial, got, wantMean)
+		}
+	}
+}
+
+// applyEdit mirrors one incremental move on a plain span multiset.
+func applyEdit(spans []topo.Span, removed, added []topo.Span) []topo.Span {
+	out := append([]topo.Span(nil), spans...)
+	for _, r := range removed {
+		for k, s := range out {
+			if s == r {
+				out = append(out[:k], out[k+1:]...)
+				break
+			}
+		}
+	}
+	return append(out, added...)
+}
+
+func TestIncrementalFlipRevertCommitMatchesScratch(t *testing.T) {
+	// Random walks of single-span flips with random accept/reject decisions:
+	// at every step the incremental answers must be bit-identical to a full
+	// evaluation of the shadow row, for all three reductions.
+	rng := stats.NewRNG(11)
+	inc := NewIncremental(testParams)
+	s := NewScratch()
+	for _, n := range []int{4, 8, 16} {
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = float64((i*13+j*7)%5) + 0.25
+			}
+		}
+		shadow := topo.MeshRow(n)
+		inc.Reset(shadow)
+		for step := 0; step < 400; step++ {
+			sp := topo.Span{From: rng.Intn(n - 2), To: 0}
+			sp.To = sp.From + 2 + rng.Intn(n-sp.From-2)
+			inc.Flip(sp)
+			// Flip toggles presence: a span already in the shadow row is
+			// removed, an absent one is added.
+			var cand []topo.Span
+			if present(shadow.Express, sp) {
+				cand = applyEdit(shadow.Express, []topo.Span{sp}, nil)
+			} else {
+				cand = applyEdit(shadow.Express, nil, []topo.Span{sp})
+			}
+			candRow := topo.Row{N: n, Express: cand}
+			wantMean, wantMax := s.MeanMax(candRow, testParams)
+			gotMean, gotMax := inc.MeanMax()
+			if gotMean != wantMean || gotMax != wantMax {
+				t.Fatalf("n=%d step %d: flip %v: MeanMax = (%v, %v), want (%v, %v)",
+					n, step, sp, gotMean, gotMax, wantMean, wantMax)
+			}
+			if got, want := inc.WeightedMean(w), s.WeightedMean(candRow, testParams, w); got != want {
+				t.Fatalf("n=%d step %d: WeightedMean = %v, want %v", n, step, got, want)
+			}
+			if rng.Bool(0.5) {
+				inc.Commit()
+				shadow = candRow
+			} else {
+				inc.Revert()
+				wantMean, wantMax = s.MeanMax(shadow, testParams)
+				gotMean, gotMax = inc.MeanMax()
+				if gotMean != wantMean || gotMax != wantMax {
+					t.Fatalf("n=%d step %d: after revert: MeanMax = (%v, %v), want (%v, %v)",
+						n, step, gotMean, gotMax, wantMean, wantMax)
+				}
+			}
+		}
+	}
+}
+
+func present(spans []topo.Span, sp topo.Span) bool {
+	for _, s := range spans {
+		if s == sp {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIncrementalUpdateDuplicateSpans(t *testing.T) {
+	// Row semantics are a multiset: adding an already-present span must leave
+	// all distances unchanged, and removing one instance must restore them.
+	inc := NewIncremental(testParams)
+	sp := topo.Span{From: 1, To: 5}
+	row := topo.Row{N: 8, Express: []topo.Span{sp}}
+	inc.Reset(row)
+	base, baseMax := inc.MeanMax()
+	inc.Update(nil, []topo.Span{sp}) // duplicate add
+	if m, mx := inc.MeanMax(); m != base || mx != baseMax {
+		t.Fatalf("duplicate add changed MeanMax: (%v, %v) vs (%v, %v)", m, mx, base, baseMax)
+	}
+	inc.Update([]topo.Span{sp}, nil) // remove one instance; the other remains
+	if m, mx := inc.MeanMax(); m != base || mx != baseMax {
+		t.Fatalf("removing one duplicate changed MeanMax: (%v, %v) vs (%v, %v)", m, mx, base, baseMax)
+	}
+	inc.Revert()
+	inc.Revert()
+	if m, mx := inc.MeanMax(); m != base || mx != baseMax {
+		t.Fatalf("revert pair changed MeanMax: (%v, %v) vs (%v, %v)", m, mx, base, baseMax)
+	}
+}
+
+func TestIncrementalNestedMovesLIFO(t *testing.T) {
+	// The D&C and BnB searches stack moves; closing them out of order must
+	// restore the exact pre-move answers at every level.
+	rng := stats.NewRNG(23)
+	inc := NewIncremental(testParams)
+	s := NewScratch()
+	row := randomRow(rng, 12, 3)
+	inc.Reset(row)
+	a, b := topo.Span{From: 0, To: 6}, topo.Span{From: 3, To: 11}
+	inc.Update(nil, []topo.Span{a})
+	inc.Update(nil, []topo.Span{b})
+	bothRow := topo.Row{N: 12, Express: append(append([]topo.Span{}, row.Express...), a, b)}
+	if got, want := inc.Mean(), s.MeanDist(bothRow, testParams); got != want {
+		t.Fatalf("nested adds: Mean = %v, want %v", got, want)
+	}
+	inc.Revert() // undo b
+	oneRow := topo.Row{N: 12, Express: append(append([]topo.Span{}, row.Express...), a)}
+	if got, want := inc.Mean(), s.MeanDist(oneRow, testParams); got != want {
+		t.Fatalf("after inner revert: Mean = %v, want %v", got, want)
+	}
+	inc.Commit() // keep a
+	if got, want := inc.Mean(), s.MeanDist(oneRow, testParams); got != want {
+		t.Fatalf("after commit: Mean = %v, want %v", got, want)
+	}
+}
+
+func TestIncrementalWeightedFallbacks(t *testing.T) {
+	inc := NewIncremental(testParams)
+	row := topo.Row{N: 6, Express: []topo.Span{{From: 0, To: 4}}}
+	inc.Reset(row)
+	mean := inc.Mean()
+	if got := inc.WeightedMean(nil); got != mean {
+		t.Fatalf("nil weights: %v, want uniform mean %v", got, mean)
+	}
+	zero := make([][]float64, 6)
+	for i := range zero {
+		zero[i] = make([]float64, 6)
+	}
+	if got := inc.WeightedMean(zero); got != mean {
+		t.Fatalf("all-zero weights: %v, want uniform mean %v", got, mean)
+	}
+}
+
+func TestIncrementalPanics(t *testing.T) {
+	for name, fn := range map[string]func(inc *Incremental){
+		"revert without move": func(inc *Incremental) { inc.Revert() },
+		"commit without move": func(inc *Incremental) { inc.Commit() },
+		"remove absent span":  func(inc *Incremental) { inc.Update([]topo.Span{{From: 0, To: 5}}, nil) },
+		"invalid span":        func(inc *Incremental) { inc.Flip(topo.Span{From: 3, To: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			inc := NewIncremental(testParams)
+			inc.Reset(topo.MeshRow(8))
+			fn(inc)
+		}()
+	}
+}

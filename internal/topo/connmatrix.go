@@ -84,6 +84,59 @@ func (m *ConnMatrix) Clone() *ConnMatrix {
 	return &ConnMatrix{n: m.n, c: m.c, bits: slices.Clone(m.bits)}
 }
 
+// Copy overwrites m with src's bits without allocating. It panics if the two
+// matrices have different shapes. It lets hot loops keep a best-so-far state
+// in a reusable buffer instead of cloning on every improvement.
+func (m *ConnMatrix) Copy(src *ConnMatrix) {
+	if m.n != src.n || m.c != src.c {
+		panic(fmt.Sprintf("topo: Copy of P~(%d,%d) matrix onto P~(%d,%d)", src.n, src.c, m.n, m.c))
+	}
+	copy(m.bits, src.bits)
+}
+
+// DeltaAt reports how Row() would change if the i-th bit (layer-major order,
+// as in FlipAt) were toggled from its current value: the spans that would
+// disappear and the spans that would appear. The matrix itself is not
+// modified. Results are appended to removed and added so callers can reuse
+// buffers; at most two spans appear on one side and one on the other.
+//
+// A flip only reshapes the segment partition of its own layer around the
+// flipped router: setting the bit fuses the two adjacent segments into one,
+// clearing it splits the enclosing segment in two. Unit-length segments decode
+// to no span (they would duplicate a local link), which is why either side of
+// the delta can be empty.
+func (m *ConnMatrix) DeltaAt(i int, removed, added []Span) (rem, add []Span) {
+	layer, router := i/(m.n-2), i%(m.n-2)+1
+	// Segment boundaries of the layer are routers with a clear bit, plus the
+	// row ends 0 and n-1.
+	s := router - 1
+	for s > 0 && m.Connected(layer, s) {
+		s--
+	}
+	e := router + 1
+	for e < m.n-1 && m.Connected(layer, e) {
+		e++
+	}
+	appendSpan := func(dst []Span, from, to int) []Span {
+		if to-from >= 2 {
+			dst = append(dst, Span{From: from, To: to})
+		}
+		return dst
+	}
+	if m.bits[i] {
+		// Set -> clear: the segment [s,e] splits at the router.
+		removed = appendSpan(removed, s, e)
+		added = appendSpan(added, s, router)
+		added = appendSpan(added, router, e)
+	} else {
+		// Clear -> set: the segments [s,router] and [router,e] fuse.
+		removed = appendSpan(removed, s, router)
+		removed = appendSpan(removed, router, e)
+		added = appendSpan(added, s, e)
+	}
+	return removed, added
+}
+
 // Equal reports whether two matrices have identical shape and bits.
 func (m *ConnMatrix) Equal(o *ConnMatrix) bool {
 	return m.n == o.n && m.c == o.c && slices.Equal(m.bits, o.bits)

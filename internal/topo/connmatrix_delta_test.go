@@ -1,0 +1,95 @@
+package topo
+
+import (
+	"testing"
+
+	"explink/internal/stats"
+)
+
+// spanCounts folds a span slice into a multiset.
+func spanCounts(spans []Span) map[Span]int {
+	m := make(map[Span]int)
+	for _, s := range spans {
+		m[s]++
+	}
+	return m
+}
+
+// TestDeltaAtMatchesDecode checks DeltaAt against the ground truth on random
+// matrices: for every bit, the predicted removed/added spans must be exactly
+// the multiset difference between the decoded rows before and after FlipAt.
+func TestDeltaAtMatchesDecode(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for _, tc := range []struct{ n, c int }{{4, 2}, {5, 3}, {8, 4}, {16, 4}, {9, 2}} {
+		for trial := 0; trial < 20; trial++ {
+			m := NewConnMatrix(tc.n, tc.c)
+			m.Randomize(func() bool { return rng.Bool(0.4) })
+			for i := 0; i < m.Bits(); i++ {
+				before := spanCounts(m.Row().Express)
+				removed, added := m.DeltaAt(i, nil, nil)
+				if got := spanCounts(m.Row().Express); len(got) != len(before) {
+					t.Fatalf("DeltaAt mutated the matrix")
+				}
+				m.FlipAt(i)
+				after := spanCounts(m.Row().Express)
+				m.FlipAt(i) // restore
+				for _, s := range removed {
+					before[s]--
+				}
+				for _, s := range added {
+					before[s]++
+				}
+				for s, k := range before {
+					if k != after[s] {
+						t.Fatalf("P~(%d,%d) bit %d: predicted count %d for %v, decode says %d (removed %v added %v)",
+							tc.n, tc.c, i, k, s, after[s], removed, added)
+					}
+				}
+				for s, k := range after {
+					if k != 0 && before[s] != k {
+						t.Fatalf("P~(%d,%d) bit %d: span %v appears %d times after flip but prediction has %d",
+							tc.n, tc.c, i, s, k, before[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaAtAppends checks the buffer-reuse contract: results are appended
+// to the passed slices.
+func TestDeltaAtAppends(t *testing.T) {
+	m := NewConnMatrix(8, 3)
+	sentinel := Span{From: 0, To: 7}
+	removed, added := m.DeltaAt(2, []Span{sentinel}, []Span{sentinel})
+	if len(removed) < 1 || removed[0] != sentinel {
+		t.Fatalf("removed lost its prefix: %v", removed)
+	}
+	if len(added) < 1 || added[0] != sentinel {
+		t.Fatalf("added lost its prefix: %v", added)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	rng := stats.NewRNG(5)
+	src := NewConnMatrix(8, 4)
+	src.Randomize(func() bool { return rng.Bool(0.5) })
+	dst := NewConnMatrix(8, 4)
+	dst.Copy(src)
+	if !dst.Equal(src) {
+		t.Fatal("Copy did not replicate bits")
+	}
+	src.FlipAt(0)
+	if dst.Equal(src) {
+		t.Fatal("Copy aliases the source bits")
+	}
+}
+
+func TestCopyShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewConnMatrix(8, 4).Copy(NewConnMatrix(8, 3))
+}
