@@ -34,6 +34,7 @@ import (
 	"syscall"
 
 	"explink/internal/anneal"
+	"explink/internal/api"
 	"explink/internal/core"
 	"explink/internal/exp"
 	"explink/internal/obs"
@@ -43,33 +44,10 @@ import (
 )
 
 // selectExperiments resolves the -exp argument ("all" or a comma-separated
-// name list) against the registry, preserving registry order and rejecting
-// unknown names.
+// name list) through the shared service-layer selector, so the flag and the
+// daemon's /v1/exp endpoint accept exactly the same names.
 func selectExperiments(arg string) ([]exp.Experiment, error) {
-	if strings.EqualFold(strings.TrimSpace(arg), "all") {
-		return exp.All(), nil
-	}
-	want := map[string]bool{}
-	for _, name := range strings.Split(arg, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		if _, ok := exp.Lookup(name); !ok {
-			return nil, fmt.Errorf("unknown experiment %q (use -list)", name)
-		}
-		want[strings.ToLower(name)] = true
-	}
-	if len(want) == 0 {
-		return nil, errors.New("no experiments selected")
-	}
-	var sel []exp.Experiment
-	for _, e := range exp.All() {
-		if want[e.Name] {
-			sel = append(sel, e)
-		}
-	}
-	return sel, nil
+	return api.SelectExperiments(strings.Split(arg, ","))
 }
 
 // progressWriter opens the -progress destination: "-" or "stderr" select

@@ -12,7 +12,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +19,8 @@ import (
 	"syscall"
 
 	"explink/internal/anneal"
+	"explink/internal/api"
 	"explink/internal/core"
-	"explink/internal/model"
 	"explink/internal/obs"
 	"explink/internal/route"
 	"explink/internal/sim"
@@ -71,34 +70,27 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := model.DefaultConfig(*n)
-	cfg.BW.BaseWidth = *base
-	if err := cfg.Validate(); err != nil {
+	// The flags map 1:1 onto the service request schema; the solve (and the
+	// -json encoding below) runs through the same internal/api path as the
+	// explinkd daemon, so the two emit byte-identical documents.
+	req := api.SolveRequest{N: *n, C: *c, Algo: *algo, Seed: *seed, Moves: *moves, BaseWidth: *base}
+	if err := req.Validate(); err != nil {
 		fatal(err)
 	}
-	s := core.NewSolver(cfg)
-	s.Seed = *seed
-	if *moves > 0 {
-		s.Sched = s.Sched.WithMoves(*moves)
+	s, err := req.Solver(nil)
+	if err != nil {
+		fatal(err)
 	}
-
-	var (
-		best core.RowSolution
-		all  []core.RowSolution
-		err  error
-	)
-	if *c > 0 {
-		best, err = s.SolveRow(ctx, *c, core.Algorithm(*algo))
-		all = []core.RowSolution{best}
-	} else {
-		best, all, err = s.Optimize(ctx, core.Algorithm(*algo))
-	}
+	cfg := s.Cfg
+	best, all, err := req.Solve(ctx, nil)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *jsonOut {
-		emitJSON(best, all)
+		if err := api.NewSolveResponse(best, all).Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -144,37 +136,6 @@ func main() {
 		}
 		fmt.Printf("\naudit: %d cycles simulated with all invariants holding (lat=%.2f cycles)\n",
 			res.Cycles, res.AvgPacketLatency)
-	}
-}
-
-type jsonSolution struct {
-	C       int         `json:"c"`
-	Width   int         `json:"widthBits"`
-	Head    float64     `json:"headLatency"`
-	Ser     float64     `json:"serializationLatency"`
-	Total   float64     `json:"totalLatency"`
-	Evals   int64       `json:"evaluations"`
-	Express []topo.Span `json:"expressLinks"`
-}
-
-func emitJSON(best core.RowSolution, all []core.RowSolution) {
-	conv := func(s core.RowSolution) jsonSolution {
-		return jsonSolution{
-			C: s.C, Width: s.Eval.Width, Head: s.Eval.Head, Ser: s.Eval.Ser,
-			Total: s.Eval.Total, Evals: s.Evals, Express: s.Row.Canonical().Express,
-		}
-	}
-	out := struct {
-		Best jsonSolution   `json:"best"`
-		All  []jsonSolution `json:"all"`
-	}{Best: conv(best)}
-	for _, s := range all {
-		out.All = append(out.All, conv(s))
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fatal(err)
 	}
 }
 

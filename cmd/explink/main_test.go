@@ -4,38 +4,28 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"io"
-	"os"
 	"testing"
 
+	"explink/internal/api"
 	"explink/internal/core"
 	"explink/internal/model"
 )
 
-func TestEmitJSON(t *testing.T) {
+func TestJSONOutput(t *testing.T) {
 	s := core.NewSolver(model.DefaultConfig(8))
 	best, all, err := s.Optimize(context.Background(), core.DCSA)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	emitJSON(best, all)
-	w.Close()
-	os.Stdout = old
 	var buf bytes.Buffer
-	if _, err := io.Copy(&buf, r); err != nil {
+	if err := api.NewSolveResponse(best, all).Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
 
 	var out struct {
-		Best jsonSolution   `json:"best"`
-		All  []jsonSolution `json:"all"`
+		Best api.Solution   `json:"best"`
+		All  []api.Solution `json:"all"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
@@ -48,5 +38,33 @@ func TestEmitJSON(t *testing.T) {
 	}
 	if len(out.Best.Express) != len(best.Row.Express) {
 		t.Fatalf("express spans %d, want %d", len(out.Best.Express), len(best.Row.Express))
+	}
+}
+
+// TestCLISolveMatchesAPIRequest pins the byte-identity contract: the flag
+// path (an api.SolveRequest built from flag values) and a daemon-style
+// request for the same parameters produce identical solutions.
+func TestCLISolveMatchesAPIRequest(t *testing.T) {
+	req := api.SolveRequest{N: 6, C: 3, Algo: "D&C_SA", Seed: 1, BaseWidth: 256}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	best1, all1, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2, all2, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := api.NewSolveResponse(best1, all1).Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.NewSolveResponse(best2, all2).Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("two solves of the same request differ:\n%s\nvs\n%s", b1.String(), b2.String())
 	}
 }

@@ -16,11 +16,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
 	"explink/internal/anneal"
+	"explink/internal/api"
 	"explink/internal/core"
 	"explink/internal/model"
 	"explink/internal/obs"
@@ -63,6 +63,14 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "expsim: debug server listening on http://%s\n", srv.Addr)
+	}
+
+	// Fail fast on malformed run-shape flags with the same runctl.ErrConfig
+	// classification the daemon applies to request bodies; downstream code
+	// would otherwise tolerate some of these (a zero -measure divides
+	// throughput by zero, -replicas 0 silently means one).
+	if err := api.ValidateSimParams(*warmup, *measure, *drain, *replicas, *rate); err != nil {
+		fatal(err)
 	}
 
 	if *saturate && *loadTr != "" {
@@ -205,54 +213,15 @@ func main() {
 	}
 }
 
+// buildTopo and buildPattern are thin aliases over the shared service-layer
+// builders (internal/api), kept so the CLI reads naturally; the daemon's
+// /v1/sim endpoint resolves names through exactly the same code.
 func buildTopo(ctx context.Context, name string, n int, seed uint64) (topo.Topology, int, error) {
-	switch strings.ToLower(name) {
-	case "mesh":
-		return topo.Mesh(n), 1, nil
-	case "fb":
-		t := topo.FlattenedButterfly(n)
-		return t, t.MaxCrossSection(), nil
-	case "hfb":
-		t := topo.HFB(n)
-		return t, t.MaxCrossSection(), nil
-	case "dcsa":
-		s := core.NewSolver(model.DefaultConfig(n))
-		s.Seed = seed
-		best, _, err := s.Optimize(ctx, core.DCSA)
-		if err != nil {
-			return topo.Topology{}, 0, err
-		}
-		return s.Topology(best), best.C, nil
-	default:
-		return topo.Topology{}, 0, fmt.Errorf("unknown topology %q", name)
-	}
+	return api.BuildTopology(ctx, name, n, seed, nil)
 }
 
 func buildPattern(name string, n int, rate float64) (traffic.Pattern, float64, error) {
-	switch strings.ToUpper(name) {
-	case "UR":
-		return traffic.UniformRandom(n), rate, nil
-	case "TP":
-		return traffic.Transpose(n), rate, nil
-	case "BR":
-		return traffic.BitReverse(n), rate, nil
-	case "BC":
-		return traffic.BitComplement(n), rate, nil
-	case "SH":
-		return traffic.Shuffle(n), rate, nil
-	case "TOR":
-		return traffic.Tornado(n), rate, nil
-	case "NBR":
-		return traffic.Neighbor(n), rate, nil
-	case "HOTSPOT":
-		hot := []int{0, n - 1, n * (n - 1), n*n - 1}
-		return traffic.Hotspot(n, hot, 0.3, traffic.UniformRandom(n)), rate, nil
-	}
-	b, err := traffic.BenchmarkByName(strings.ToLower(name))
-	if err != nil {
-		return nil, 0, fmt.Errorf("unknown pattern %q (synthetic or PARSEC name)", name)
-	}
-	return b.Pattern(n), b.InjRate, nil
+	return api.BuildPattern(name, n, rate)
 }
 
 func fatal(err error) {

@@ -1,0 +1,256 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"explink/internal/core"
+	"explink/internal/exp"
+	"explink/internal/runctl"
+	"explink/internal/topo"
+)
+
+func TestSolveRequestNormalizeAndValidate(t *testing.T) {
+	r := SolveRequest{N: 8}
+	r.Normalize()
+	if r.Algo != string(core.DCSA) || r.Seed != 1 || r.BaseWidth != 256 {
+		t.Fatalf("defaults wrong: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []SolveRequest{
+		{N: 1, Algo: "D&C_SA", BaseWidth: 256},
+		{N: 8, C: -1, Algo: "D&C_SA", BaseWidth: 256},
+		{N: 8, Algo: "magic", BaseWidth: 256},
+		{N: 8, Algo: "D&C_SA", Moves: -5, BaseWidth: 256},
+		{N: 8, Algo: "D&C_SA", BaseWidth: -1},
+		{N: 8, Algo: "D&C_SA", BaseWidth: 256, WorstWeight: 1.5},
+	}
+	for i, r := range bad {
+		err := r.Validate()
+		if err == nil {
+			t.Fatalf("case %d accepted: %+v", i, r)
+		}
+		if !errors.Is(err, runctl.ErrConfig) {
+			t.Fatalf("case %d: error %v is not ErrConfig-typed", i, err)
+		}
+	}
+}
+
+func TestValidateSimParams(t *testing.T) {
+	if err := ValidateSimParams(2000, 10000, 40000, 1, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		warmup, measure, drain, replicas int
+		rate                             float64
+		wantWord                         string
+	}{
+		{0, 10000, 40000, 1, 0.02, "warmup"},
+		{-5, 10000, 40000, 1, 0.02, "warmup"},
+		{2000, 0, 40000, 1, 0.02, "measure"},
+		{2000, -1, 40000, 1, 0.02, "measure"},
+		{2000, 10000, -1, 1, 0.02, "drain"},
+		{2000, 10000, 40000, 0, 0.02, "replica"},
+		{2000, 10000, 40000, -2, 0.02, "replica"},
+		{2000, 10000, 40000, 1, -0.1, "rate"},
+		{2000, 10000, 40000, 1, 1.5, "rate"},
+	}
+	for i, c := range cases {
+		err := ValidateSimParams(c.warmup, c.measure, c.drain, c.replicas, c.rate)
+		if err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+		if !errors.Is(err, runctl.ErrConfig) {
+			t.Fatalf("case %d: %v is not ErrConfig-typed", i, err)
+		}
+		if !strings.Contains(err.Error(), c.wantWord) {
+			t.Fatalf("case %d: %v does not name %q", i, err, c.wantWord)
+		}
+	}
+}
+
+func TestSimRequestDefaultsMatchExpsimFlags(t *testing.T) {
+	r := SimRequest{N: 8}
+	r.Normalize()
+	if r.Topo != "mesh" || r.Pattern != "UR" || r.Rate != 0.02 || r.Seed != 1 ||
+		r.Warmup != 2000 || r.Measure != 10000 || r.Drain != 40000 || r.Replicas != 1 {
+		t.Fatalf("defaults diverge from the expsim flag defaults: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindAndHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err    error
+		kind   string
+		status int
+	}{
+		{nil, "", http.StatusOK},
+		{runctl.ErrConfig, "config", http.StatusBadRequest},
+		{runctl.ErrCancelled, "cancelled", http.StatusServiceUnavailable},
+		{runctl.ErrDeadlock, "deadlock", http.StatusUnprocessableEntity},
+		{runctl.ErrUnstable, "unstable", http.StatusUnprocessableEntity},
+		{runctl.ErrAudit, "audit", http.StatusInternalServerError},
+		{errors.New("boom"), "internal", http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := Kind(c.err); got != c.kind {
+			t.Fatalf("Kind(%v) = %q, want %q", c.err, got, c.kind)
+		}
+		if got := HTTPStatus(c.err); got != c.status {
+			t.Fatalf("HTTPStatus(%v) = %d, want %d", c.err, got, c.status)
+		}
+	}
+	// Wrapped errors classify through errors.Is.
+	wrapped := configErr("nested %d", 7)
+	if Kind(wrapped) != "config" || HTTPStatus(wrapped) != http.StatusBadRequest {
+		t.Fatalf("wrapped config error misclassified: %v", wrapped)
+	}
+	if ErrorBodyOf(nil) != nil {
+		t.Fatal("ErrorBodyOf(nil) != nil")
+	}
+	if b := ErrorBodyOf(wrapped); b.Kind != "config" || b.Message == "" {
+		t.Fatalf("body wrong: %+v", b)
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := SelectExperiments(nil)
+	if err != nil || len(all) != len(exp.All()) {
+		t.Fatalf("nil selection: %d of %d (%v)", len(all), len(exp.All()), err)
+	}
+	all, err = SelectExperiments([]string{"fig5", "all"})
+	if err != nil || len(all) != len(exp.All()) {
+		t.Fatalf("'all' selection: %d (%v)", len(all), err)
+	}
+	sel, err := SelectExperiments([]string{"fig11", " FIG5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "fig5" || sel[1].Name != "fig11" {
+		t.Fatalf("registry order lost: %v", sel)
+	}
+	if _, err := SelectExperiments([]string{"fig5", "nope"}); !errors.Is(err, runctl.ErrConfig) {
+		t.Fatalf("unknown name: %v", err)
+	}
+	if _, err := SelectExperiments([]string{" ", ""}); !errors.Is(err, runctl.ErrConfig) {
+		t.Fatalf("blank selection: %v", err)
+	}
+}
+
+func TestEvalRequestUniformAndWeighted(t *testing.T) {
+	// A placement the solver itself produced must evaluate identically
+	// through the service path.
+	req := SolveRequest{N: 6, C: 2}
+	req.Normalize()
+	best, _, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := EvalRequest{N: 6, C: best.C, Express: best.Row.Express}
+	er.Normalize()
+	if err := er.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := er.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != best.Eval.Total || got.Width != best.Eval.Width {
+		t.Fatalf("eval mismatch: %+v vs %+v", got, best.Eval)
+	}
+
+	// A uniform traffic matrix goes down the weighted path (Section 5.6.4's
+	// machinery over the 2D expansion — a different formulation from the
+	// analytic row average, so only shape is asserted here).
+	nn := 36
+	w := make([][]float64, nn)
+	for i := range w {
+		w[i] = make([]float64, nn)
+		for j := range w[i] {
+			if i != j {
+				w[i][j] = 1
+			}
+		}
+	}
+	er.Weights = w
+	if err := er.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wgot, err := er.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wgot.Weighted {
+		t.Fatal("weighted flag unset")
+	}
+	if wgot.Total <= 0 || wgot.Head <= 0 {
+		t.Fatalf("weighted eval degenerate: %+v", wgot)
+	}
+
+	// Malformed requests are config-typed.
+	bad := EvalRequest{N: 6, C: 2, Express: []topo.Span{{From: 0, To: 99}}, BaseWidth: 256}
+	if err := bad.Validate(); !errors.Is(err, runctl.ErrConfig) {
+		t.Fatalf("invalid span: %v", err)
+	}
+	short := EvalRequest{N: 6, C: 2, BaseWidth: 256, Weights: [][]float64{{1}}}
+	if err := short.Validate(); !errors.Is(err, runctl.ErrConfig) {
+		t.Fatalf("short matrix: %v", err)
+	}
+}
+
+func TestSolveResponseEncodeStable(t *testing.T) {
+	req := SolveRequest{N: 6, C: 2}
+	req.Normalize()
+	best, all, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := NewSolveResponse(best, all).Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSolveResponse(best, all).Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encoding is not deterministic")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("\n")) {
+		t.Fatal("missing trailing newline")
+	}
+	if !bytes.Contains(a.Bytes(), []byte(`"expressLinks"`)) {
+		t.Fatalf("historical schema field missing:\n%s", a.String())
+	}
+}
+
+func TestBuildTopologyAndPattern(t *testing.T) {
+	for name, wantC := range map[string]int{"mesh": 1, "hfb": 4, "fb": 16} {
+		tp, c, err := BuildTopology(context.Background(), name, 8, 1, nil)
+		if err != nil || c != wantC {
+			t.Fatalf("%s: c=%d err=%v", name, c, err)
+		}
+		if err := tp.Validate(c); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, _, err := BuildTopology(context.Background(), "ring", 8, 1, nil); !errors.Is(err, runctl.ErrConfig) {
+		t.Fatalf("unknown topology: %v", err)
+	}
+	if _, _, err := BuildPattern("doom", 8, 0.1); !errors.Is(err, runctl.ErrConfig) {
+		t.Fatalf("unknown pattern: %v", err)
+	}
+	pat, rate, err := BuildPattern("canneal", 8, 0.5)
+	if err != nil || pat.Name() != "canneal" || rate == 0.5 {
+		t.Fatalf("parsec lookup: %v %g %v", pat, rate, err)
+	}
+}

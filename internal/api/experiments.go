@@ -1,0 +1,42 @@
+package api
+
+import (
+	"strings"
+
+	"explink/internal/exp"
+)
+
+// SelectExperiments resolves a name list against the experiment registry,
+// preserving registry order, deduplicating, and rejecting unknown names with
+// a runctl.ErrConfig-typed error. An empty (or nil) list selects every
+// registered experiment. It is the one selection path shared by the expbench
+// -exp flag and the daemon's /v1/exp endpoint.
+func SelectExperiments(names []string) ([]exp.Experiment, error) {
+	if len(names) == 0 {
+		return exp.All(), nil
+	}
+	want := map[string]bool{}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if strings.EqualFold(name, "all") {
+			return exp.All(), nil
+		}
+		if _, ok := exp.Lookup(name); !ok {
+			return nil, configErr("unknown experiment %q", name)
+		}
+		want[strings.ToLower(name)] = true
+	}
+	if len(want) == 0 {
+		return nil, configErr("no experiments selected")
+	}
+	var sel []exp.Experiment
+	for _, e := range exp.All() {
+		if want[e.Name] {
+			sel = append(sel, e)
+		}
+	}
+	return sel, nil
+}

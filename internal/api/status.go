@@ -1,0 +1,72 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+
+	"explink/internal/runctl"
+)
+
+// Kind classifies an error against the runctl taxonomy with a stable wire
+// string, so remote clients can branch on outcomes the way local callers use
+// errors.Is. A nil error is "" (success); anything outside the taxonomy is
+// "internal".
+func Kind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, runctl.ErrConfig):
+		return "config"
+	case errors.Is(err, runctl.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, runctl.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, runctl.ErrUnstable):
+		return "unstable"
+	case errors.Is(err, runctl.ErrAudit):
+		return "audit"
+	default:
+		return "internal"
+	}
+}
+
+// HTTPStatus maps the runctl error taxonomy onto HTTP statuses:
+//
+//	nil          -> 200 OK
+//	ErrConfig    -> 400 Bad Request           (the request itself is wrong)
+//	ErrCancelled -> 503 Service Unavailable   (cut short — e.g. a drain — retryable)
+//	ErrDeadlock  -> 422 Unprocessable Entity  (valid request, network deadlocked)
+//	ErrUnstable  -> 422 Unprocessable Entity  (valid request, network unstable)
+//	ErrAudit     -> 500 Internal Server Error (the engine broke an invariant)
+//	other        -> 500 Internal Server Error
+func HTTPStatus(err error) int {
+	switch Kind(err) {
+	case "":
+		return http.StatusOK
+	case "config":
+		return http.StatusBadRequest
+	case "cancelled":
+		return http.StatusServiceUnavailable
+	case "deadlock", "unstable":
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ErrorBody is the wire form of a failed request, carried in HTTP error
+// responses and stdio error replies.
+type ErrorBody struct {
+	// Kind is the taxonomy class (see Kind).
+	Kind string `json:"kind"`
+	// Message is the error text.
+	Message string `json:"message"`
+}
+
+// ErrorBodyOf builds the wire form of err; nil in, nil out.
+func ErrorBodyOf(err error) *ErrorBody {
+	if err == nil {
+		return nil
+	}
+	return &ErrorBody{Kind: Kind(err), Message: err.Error()}
+}

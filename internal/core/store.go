@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"explink/internal/model"
 	"explink/internal/topo"
@@ -64,10 +65,17 @@ type StoreCounters struct {
 	// DiskHits counts solves answered from the on-disk cache (a warm
 	// -cache-dir run reports Solves == 0 and DiskHits > 0).
 	DiskHits int64 `json:"diskHits"`
+	// Swept counts stale temp files removed when the store was opened —
+	// leftovers of atomic writes interrupted by a kill.
+	Swept int64 `json:"swept,omitempty"`
 }
 
 func (c StoreCounters) String() string {
-	return fmt.Sprintf("solves=%d hits=%d disk=%d", c.Solves, c.Hits, c.DiskHits)
+	s := fmt.Sprintf("solves=%d hits=%d disk=%d", c.Solves, c.Hits, c.DiskHits)
+	if c.Swept > 0 {
+		s += fmt.Sprintf(" swept=%d", c.Swept)
+	}
+	return s
 }
 
 // PlacementStore is a content-addressed cache of placement solves shared by
@@ -93,18 +101,57 @@ type PlacementStore struct {
 }
 
 // NewPlacementStore returns a store; dir == "" keeps it memory-only, any
-// other value also persists entries under dir (created if missing).
+// other value also persists entries under dir (created if missing). Opening
+// a persistent store sweeps temp files left behind by interrupted writes
+// (see sweepTemp); the count lands in Counters().Swept.
 func NewPlacementStore(dir string) (*PlacementStore, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("core: placement store dir: %w", err)
 		}
 	}
-	return &PlacementStore{
+	st := &PlacementStore{
 		dir:      dir,
 		mem:      make(map[string]StoredPlacement),
 		inflight: make(map[string]chan struct{}),
-	}, nil
+	}
+	st.counters.Swept = sweepTemp(dir, tempSweepAge)
+	return st, nil
+}
+
+// tempSweepAge guards the open-time sweep: only temp files at least this old
+// are removed, so a concurrent store writing into the same directory never
+// loses an in-progress file to another process's open.
+const tempSweepAge = time.Hour
+
+// sweepTemp removes stale "<addr>.tmp*" files under dir — the debris of
+// saveDisk's atomic write pattern when the process is killed between
+// CreateTemp and Rename. Returns how many files were removed; every failure
+// mode (unreadable dir, vanished file) is skipped silently, matching the
+// cache's best-effort persistence.
+func sweepTemp(dir string, minAge time.Duration) int64 {
+	if dir == "" {
+		return 0
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-minAge)
+	var swept int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			swept++
+		}
+	}
+	return swept
 }
 
 // Dir returns the on-disk directory, or "" for a memory-only store.

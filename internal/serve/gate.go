@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"explink/internal/runctl"
+)
+
+var (
+	// ErrDraining rejects work admitted after BeginDrain: the daemon is
+	// shutting down and stops accepting, per the drain contract.
+	ErrDraining = errors.New("server draining")
+	// ErrOverloaded rejects work when the admission queue is full: every
+	// worker slot is busy and the bounded wait line is at capacity.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrRateLimited rejects a client that exceeded its request budget.
+	ErrRateLimited = errors.New("client rate limited")
+)
+
+// gate is the bounded admission controller in front of every unit of daemon
+// work: at most maxInflight requests run at once, at most maxQueue more wait
+// for a slot, and everything beyond that is rejected immediately with
+// ErrOverloaded so overload degrades into fast 503s instead of an unbounded
+// goroutine pile-up. BeginDrain flips the gate closed: waiting and future
+// acquisitions fail with ErrDraining while in-flight work keeps its slots
+// until release.
+type gate struct {
+	sem     chan struct{}
+	drainCh chan struct{}
+
+	mu       sync.Mutex
+	waiting  int
+	maxQueue int
+	drained  bool
+}
+
+func newGate(maxInflight, maxQueue int) *gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{
+		sem:      make(chan struct{}, maxInflight),
+		drainCh:  make(chan struct{}),
+		maxQueue: maxQueue,
+	}
+}
+
+// acquire admits one unit of work, blocking in the bounded queue when every
+// slot is busy. The caller must invoke the returned release exactly once.
+// Rejections: ErrDraining after BeginDrain, ErrOverloaded when the queue is
+// full, and a runctl.ErrCancelled wrap when ctx dies while queued.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case <-g.drainCh:
+		return nil, ErrDraining
+	default:
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	g.mu.Lock()
+	if g.waiting >= g.maxQueue {
+		g.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	case <-g.drainCh:
+		return nil, ErrDraining
+	case <-ctx.Done():
+		return nil, runctl.Cancelled(ctx)
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// beginDrain closes the gate; idempotent.
+func (g *gate) beginDrain() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.drained {
+		g.drained = true
+		close(g.drainCh)
+	}
+}
+
+// draining reports whether beginDrain has been called.
+func (g *gate) draining() bool {
+	select {
+	case <-g.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// queued reports how many acquirers are waiting for a slot.
+func (g *gate) queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}
+
+// inflight reports how many slots are held.
+func (g *gate) inflight() int { return len(g.sem) }
+
+// limiter is a per-client token-bucket rate limiter: each client key gets
+// `rate` requests per second with a burst allowance, lazily instantiated.
+// Stale buckets are evicted once the table grows past limiterMaxClients so a
+// scan of spoofed client ids cannot grow memory without bound.
+type limiter struct {
+	rate  float64 // tokens per second; <= 0 disables the limiter
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const limiterMaxClients = 4096
+
+func newLimiter(ratePerSec float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    ratePerSec,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow consumes one token from key's bucket, reporting whether the request
+// is within budget. A disabled limiter (rate <= 0) always allows.
+func (l *limiter) allow(key string) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= limiterMaxClients {
+			l.evictStale(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictStale drops buckets that have been idle long enough to be full again
+// (they carry no throttling state worth keeping). Called with l.mu held.
+func (l *limiter) evictStale(now time.Time) {
+	idle := time.Duration(l.burst/l.rate*float64(time.Second)) + time.Second
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"explink/internal/api"
+)
+
+// stdioSession drives ServeStdio over in-process pipes and collects the
+// response lines keyed by id.
+type stdioSession struct {
+	in   io.WriteCloser
+	out  *bufio.Scanner
+	done chan error
+}
+
+func startStdio(t *testing.T, s *Server) *stdioSession {
+	t.Helper()
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- s.ServeStdio(context.Background(), inR, outW)
+		outW.Close()
+	}()
+	sc := bufio.NewScanner(outR)
+	sc.Buffer(make([]byte, 64*1024), stdioMaxLine)
+	return &stdioSession{in: inW, out: sc, done: done}
+}
+
+func (ss *stdioSession) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := io.WriteString(ss.in, line+"\n"); err != nil {
+		t.Fatalf("write %q: %v", line, err)
+	}
+}
+
+// recv reads the next response line and decodes it.
+func (ss *stdioSession) recv(t *testing.T) stdioResponse {
+	t.Helper()
+	if !ss.out.Scan() {
+		t.Fatalf("stdio output closed early: %v", ss.out.Err())
+	}
+	var resp stdioResponse
+	if err := json.Unmarshal(ss.out.Bytes(), &resp); err != nil {
+		t.Fatalf("response line not JSON: %v\n%s", err, ss.out.Text())
+	}
+	return resp
+}
+
+func TestStdioRoundTrip(t *testing.T) {
+	srv := New(Config{})
+	ss := startStdio(t, srv)
+
+	// ping: ungated liveness, reports schema.
+	ss.send(t, `{"id":1,"op":"ping"}`)
+	resp := ss.recv(t)
+	if !resp.OK || string(resp.ID) != "1" {
+		t.Fatalf("ping: %+v", resp)
+	}
+	if !bytes.Contains(resp.Result, []byte(api.SchemaVersion)) {
+		t.Fatalf("ping result missing schema: %s", resp.Result)
+	}
+
+	// solve: result matches the HTTP/CLI solution for the same request.
+	ss.send(t, `{"id":"s1","op":"solve","req":{"n":6,"c":3}}`)
+	resp = ss.recv(t)
+	if !resp.OK || string(resp.ID) != `"s1"` {
+		t.Fatalf("solve: %+v", resp)
+	}
+	var solved struct {
+		Best api.Solution `json:"best"`
+	}
+	if err := json.Unmarshal(resp.Result, &solved); err != nil {
+		t.Fatalf("solve result: %v\n%s", err, resp.Result)
+	}
+	if solved.Best.C != 3 || solved.Best.Total <= 0 {
+		t.Fatalf("solve result degenerate: %+v", solved.Best)
+	}
+
+	// eval round-trips the solved placement.
+	evalReq, _ := json.Marshal(map[string]any{
+		"n": 6, "c": solved.Best.C, "express": solved.Best.Express,
+	})
+	ss.send(t, fmt.Sprintf(`{"id":2,"op":"eval","req":%s}`, evalReq))
+	resp = ss.recv(t)
+	if !resp.OK {
+		t.Fatalf("eval: %+v", resp)
+	}
+	var ev api.EvalResponse
+	if err := json.Unmarshal(resp.Result, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total != solved.Best.Total {
+		t.Fatalf("stdio eval %.4f != solve %.4f", ev.Total, solved.Best.Total)
+	}
+
+	// A non-JSON line answers with a config error instead of killing the loop.
+	ss.send(t, `this is not json`)
+	resp = ss.recv(t)
+	if resp.OK || resp.Error == nil || resp.Error.Kind != "config" {
+		t.Fatalf("garbage line: %+v", resp)
+	}
+
+	// Unknown op: config error, id echoed.
+	ss.send(t, `{"id":9,"op":"dance"}`)
+	resp = ss.recv(t)
+	if resp.OK || resp.Error == nil || resp.Error.Kind != "config" || string(resp.ID) != "9" {
+		t.Fatalf("unknown op: %+v", resp)
+	}
+
+	// Invalid request body: config error.
+	ss.send(t, `{"id":10,"op":"solve","req":{"n":1}}`)
+	resp = ss.recv(t)
+	if resp.OK || resp.Error == nil || resp.Error.Kind != "config" {
+		t.Fatalf("bad solve: %+v", resp)
+	}
+
+	// shutdown acknowledges and ends the loop cleanly.
+	ss.send(t, `{"id":11,"op":"shutdown"}`)
+	resp = ss.recv(t)
+	if !resp.OK || string(resp.ID) != "11" {
+		t.Fatalf("shutdown ack: %+v", resp)
+	}
+	select {
+	case err := <-ss.done:
+		if err != nil {
+			t.Fatalf("ServeStdio after shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeStdio did not return after shutdown")
+	}
+
+	// The store served the solve: one cold solve, eval is analytic (no solve).
+	if c := srv.Store().Counters(); c.Solves != 1 {
+		t.Fatalf("counters %s", c)
+	}
+}
+
+func TestStdioEOFEndsSession(t *testing.T) {
+	srv := New(Config{})
+	var out bytes.Buffer
+	err := srv.ServeStdio(context.Background(), strings.NewReader(`{"id":1,"op":"ping"}`+"\n"), &syncWriter{w: &out})
+	if err != nil {
+		t.Fatalf("ServeStdio at EOF: %v", err)
+	}
+	if !strings.Contains(out.String(), `"ok":true`) {
+		t.Fatalf("ping not answered before EOF: %s", out.String())
+	}
+}
+
+func TestStdioDrainStopsReading(t *testing.T) {
+	srv := New(Config{})
+	ss := startStdio(t, srv)
+	ss.send(t, `{"id":1,"op":"ping"}`)
+	ss.recv(t)
+
+	srv.BeginDrain()
+	select {
+	case err := <-ss.done:
+		if err != nil {
+			t.Fatalf("drained ServeStdio: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeStdio did not return after BeginDrain")
+	}
+}
+
+// TestStdioConcurrentDispatch checks that responses are correlated by id, not
+// order: many ops in flight at once, every line parses alone, every id comes
+// back exactly once.
+func TestStdioConcurrentDispatch(t *testing.T) {
+	srv := New(Config{MaxInflight: 4, MaxQueue: 64})
+	ss := startStdio(t, srv)
+
+	const nReq = 16
+	for i := 0; i < nReq; i++ {
+		ss.send(t, fmt.Sprintf(`{"id":%d,"op":"eval","req":{"n":6,"c":2,"express":[{"From":0,"To":%d}]}}`, i, 2+i%4))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < nReq; i++ {
+		resp := ss.recv(t)
+		if !resp.OK {
+			t.Fatalf("eval %s failed: %+v", resp.ID, resp.Error)
+		}
+		id := string(resp.ID)
+		if seen[id] {
+			t.Fatalf("id %s answered twice", id)
+		}
+		seen[id] = true
+	}
+	ss.send(t, `{"op":"shutdown"}`)
+	ss.recv(t)
+	if err := <-ss.done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncWriter makes a bytes.Buffer safe for the concurrent line writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

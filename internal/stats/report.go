@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -92,9 +91,12 @@ func (r *Report) Render() string {
 }
 
 // JSON marshals the report with indentation and a trailing newline, the
-// on-disk format of `expbench -json -out <dir>`.
+// on-disk format of `expbench -json -out <dir>`. Non-finite floats anywhere
+// in the report marshal as null instead of failing the whole document (see
+// MarshalSanitized); a clean report marshals to exactly json.MarshalIndent's
+// bytes.
 func (r *Report) JSON() ([]byte, error) {
-	buf, err := json.MarshalIndent(r, "", "  ")
+	buf, _, err := MarshalIndentSanitized(r, "", "  ")
 	if err != nil {
 		return nil, err
 	}
@@ -103,12 +105,13 @@ func (r *Report) JSON() ([]byte, error) {
 
 // ReportsJSON marshals a report list as one indented JSON array with a
 // trailing newline, the stdout format of `expbench -json`. A nil or empty
-// list marshals as an empty array, never as null.
+// list marshals as an empty array, never as null; non-finite floats marshal
+// as null rather than failing the whole array.
 func ReportsJSON(reports []*Report) ([]byte, error) {
 	if reports == nil {
 		reports = []*Report{}
 	}
-	buf, err := json.MarshalIndent(reports, "", "  ")
+	buf, _, err := MarshalIndentSanitized(reports, "", "  ")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMarshalSanitizedCleanIsByteIdentical(t *testing.T) {
+	rep := NewReport("fig5")
+	rep.Title = "clean"
+	tb := rep.Add(NewTable("t", "a", "b"))
+	tb.AddRowf(1, 2.5)
+	rep.Note("fine")
+
+	want, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, notes, err := MarshalSanitized(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notes != nil {
+		t.Fatalf("clean value produced notes %v", notes)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sanitized bytes differ from json.Marshal:\n%s\nvs\n%s", got, want)
+	}
+
+	wantInd, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInd, notes, err := MarshalIndentSanitized(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notes != nil || !bytes.Equal(gotInd, wantInd) {
+		t.Fatalf("indented sanitized bytes differ (notes %v)", notes)
+	}
+}
+
+// TestMarshalSanitizedNonFinite is the regression test for the serving-path
+// bug this exists to fix: a NaN or ±Inf anywhere in a result used to fail
+// the whole JSON document with json.UnsupportedValueError.
+func TestMarshalSanitizedNonFinite(t *testing.T) {
+	type inner struct {
+		Lat  float64   `json:"avgPacketLatency"`
+		Thr  float64   `json:"throughput,omitempty"`
+		Hops []float64 `json:"hops"`
+	}
+	type outer struct {
+		Name   string             `json:"name"`
+		Result inner              `json:"result"`
+		ByKey  map[string]float64 `json:"byKey"`
+		Skip   float64            `json:"-"`
+	}
+	v := outer{
+		Name:   "probe",
+		Result: inner{Lat: math.NaN(), Hops: []float64{1, math.Inf(1), 3}},
+		ByKey:  map[string]float64{"neg": math.Inf(-1), "ok": 2},
+		Skip:   math.NaN(),
+	}
+
+	// Plain marshaling must fail — otherwise this test pins nothing.
+	if _, err := json.Marshal(v); err == nil {
+		t.Fatal("expected json.Marshal to reject non-finite floats")
+	}
+
+	buf, notes, err := MarshalSanitized(v)
+	if err != nil {
+		t.Fatalf("sanitized marshal failed: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf)
+	}
+	res := back["result"].(map[string]any)
+	if res["avgPacketLatency"] != nil {
+		t.Fatalf("NaN survived as %v", res["avgPacketLatency"])
+	}
+	hops := res["hops"].([]any)
+	if hops[0] != 1.0 || hops[1] != nil || hops[2] != 3.0 {
+		t.Fatalf("slice sanitization wrong: %v", hops)
+	}
+	if back["byKey"].(map[string]any)["neg"] != nil {
+		t.Fatalf("-Inf survived in map")
+	}
+	if back["byKey"].(map[string]any)["ok"] != 2.0 {
+		t.Fatalf("finite map value lost")
+	}
+	if _, present := res["throughput"]; present {
+		t.Fatalf("omitempty zero field emitted")
+	}
+
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{
+		"result.avgPacketLatency: NaN",
+		"result.hops[1]: +Inf",
+		"byKey.neg: -Inf",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "Skip") {
+		t.Fatalf("json:\"-\" field reported: %s", joined)
+	}
+}
+
+func TestReportJSONSurvivesNonFinite(t *testing.T) {
+	rep := NewReport("poisoned")
+	tb := rep.Add(NewTable("t", "rate", "lat"))
+	tb.AddRowf(0.02, math.NaN())
+
+	buf, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("Report.JSON failed on NaN: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf)
+	}
+	if back["name"] != "poisoned" {
+		t.Fatalf("report content lost: %v", back)
+	}
+
+	arr, err := ReportsJSON([]*Report{rep})
+	if err != nil {
+		t.Fatalf("ReportsJSON failed on NaN: %v", err)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(arr, &list); err != nil || len(list) != 1 {
+		t.Fatalf("invalid JSON array: %v\n%s", err, arr)
+	}
+}
+
+func TestMarshalSanitizedTopLevelAndPointers(t *testing.T) {
+	buf, notes, err := MarshalSanitized(math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "null" || len(notes) != 1 || !strings.Contains(notes[0], "value: +Inf") {
+		t.Fatalf("top-level Inf: %s %v", buf, notes)
+	}
+
+	f := math.NaN()
+	type wrap struct {
+		P *float64 `json:"p"`
+	}
+	buf, notes, err = MarshalSanitized(&wrap{P: &f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf, []byte(`"p":null`)) || len(notes) != 1 {
+		t.Fatalf("pointer NaN: %s %v", buf, notes)
+	}
+}
