@@ -50,6 +50,16 @@ func selectExperiments(arg string) ([]exp.Experiment, error) {
 	return api.SelectExperiments(strings.Split(arg, ","))
 }
 
+// validateParallel rejects a non-positive -parallel at parse time with a
+// config-typed error; the silent upper clamp to GOMAXPROCS stays separate
+// because over-asking is harmless while zero workers would deadlock.
+func validateParallel(p int) error {
+	if p < 1 {
+		return fmt.Errorf("-parallel %d must be at least 1: %w", p, runctl.ErrConfig)
+	}
+	return nil
+}
+
 // progressWriter opens the -progress destination: "-" or "stderr" select
 // stderr, anything else is created (truncated) as a file. The returned closer
 // is a no-op for stderr.
@@ -87,6 +97,11 @@ func run() int {
 		progress = flag.String("progress", "", "write JSON-lines progress events to this file (\"-\" for stderr)")
 	)
 	flag.Parse()
+
+	if err := validateParallel(*parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "expbench: %v\n", err)
+		return 1
+	}
 
 	if *list {
 		for _, e := range exp.All() {

@@ -1,10 +1,29 @@
 package main
 
 import (
+	"errors"
 	"testing"
 
 	"explink/internal/exp"
+	"explink/internal/runctl"
 )
+
+func TestValidateParallel(t *testing.T) {
+	for _, p := range []int{1, 2, 1024} {
+		if err := validateParallel(p); err != nil {
+			t.Fatalf("-parallel %d rejected: %v", p, err)
+		}
+	}
+	for _, p := range []int{0, -1, -100} {
+		err := validateParallel(p)
+		if err == nil {
+			t.Fatalf("-parallel %d accepted", p)
+		}
+		if !errors.Is(err, runctl.ErrConfig) {
+			t.Fatalf("-parallel %d: error %v is not ErrConfig-typed", p, err)
+		}
+	}
+}
 
 func TestSelectExperiments(t *testing.T) {
 	all, err := selectExperiments("all")

@@ -8,6 +8,9 @@
 //	explink -n 8 -algo OnlySA     # ablation: SA from a random start
 //	explink -n 8 -json            # machine-readable output
 //	explink -n 8 -diagram         # ASCII picture of the placement
+//	explink -n 8 -power           # sim-free power report for the best design
+//	explink -n 8 -pareto          # multi-objective placement frontier
+//	explink -n 8 -pareto -objectives latency,power
 package main
 
 import (
@@ -16,12 +19,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"explink/internal/anneal"
 	"explink/internal/api"
 	"explink/internal/core"
 	"explink/internal/obs"
+	"explink/internal/power"
 	"explink/internal/route"
 	"explink/internal/sim"
 	"explink/internal/stats"
@@ -43,6 +48,10 @@ func main() {
 		tables  = flag.Bool("tables", false, "print the per-router routing tables (Fig. 3b)")
 		timeout = flag.Duration("timeout", 0, "abort the optimization after this wall-clock duration (0 = no limit)")
 		audit   = flag.Bool("audit", false, "self-check the chosen design with a short audited simulation")
+		pareto  = flag.Bool("pareto", false, "solve the multi-objective placement frontier instead of one best design")
+		objs    = flag.String("objectives", "latency,power,wiring", "comma-separated frontier dimensions for -pareto")
+		archive = flag.Int("archive", 0, "bound the per-C non-dominated archive for -pareto (0 = annealer default)")
+		powerRe = flag.Bool("power", false, "print the sim-free power report (static + wiring breakdown) for the solved placement")
 		debug   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
@@ -68,6 +77,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *pareto {
+		runPareto(ctx, *n, *c, *objs, *seed, *moves, *base, *archive, *jsonOut)
+		return
 	}
 
 	// The flags map 1:1 onto the service request schema; the solve (and the
@@ -105,6 +119,12 @@ func main() {
 		fmt.Printf("\nbest: C=%d  L_avg=%.2f cycles  (%.1f%% below the mesh's %.2f)\n",
 			best.C, best.Eval.Total, 100*(1-best.Eval.Total/mesh.Total), mesh.Total)
 	}
+	if *powerRe {
+		// The same sim-free evaluator the frontier's power/wiring dimensions
+		// use, applied to the single chosen design.
+		cost := power.DefaultModel().PlacementCost(best.Row, best.Eval.Width)
+		fmt.Printf("\npower: %s\n", cost)
+	}
 	if *diagram {
 		fmt.Printf("\n%s\n", best.Row.Diagram())
 	}
@@ -137,6 +157,52 @@ func main() {
 		fmt.Printf("\naudit: %d cycles simulated with all invariants holding (lat=%.2f cycles)\n",
 			res.Cycles, res.AvgPacketLatency)
 	}
+}
+
+// runPareto is the -pareto flow: the frontier counterpart of the scalar
+// solve, running through the same api.ParetoRequest path as the daemon's
+// /v1/pareto endpoint so `-json` output is byte-identical by construction.
+func runPareto(ctx context.Context, n, c int, objectives string, seed uint64, moves, base, archive int, jsonOut bool) {
+	req := api.ParetoRequest{N: n, C: c, Objectives: splitObjectives(objectives), Seed: seed, Moves: moves, BaseWidth: base, ArchiveCap: archive}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		fatal(err)
+	}
+	f, err := req.Solve(ctx, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	if jsonOut {
+		if err := api.NewParetoResponse(f).Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	dims := make([]string, len(f.Objectives))
+	for i, o := range f.Objectives {
+		dims[i] = string(o)
+	}
+	labels := make([]string, len(f.Entries))
+	points := make([][]float64, len(f.Entries))
+	for i, e := range f.Entries {
+		labels[i] = fmt.Sprintf("C=%d %s", e.C, e.Row.String())
+		points[i] = e.Objs
+	}
+	t := stats.FrontierTable(fmt.Sprintf("Pareto frontier for %dx%d (base width %db)", n, n, base),
+		dims, labels, points)
+	fmt.Print(t.String())
+	fmt.Printf("\n%d non-dominated placements, %d evaluations\n", len(f.Entries), f.Evals)
+}
+
+// splitObjectives turns the -objectives flag into the request's list form; a
+// blank flag means core's all-dimensions default.
+func splitObjectives(arg string) []string {
+	if strings.TrimSpace(arg) == "" {
+		return nil
+	}
+	return strings.Split(arg, ",")
 }
 
 func fatal(err error) {

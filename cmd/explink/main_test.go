@@ -41,6 +41,51 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+func TestSplitObjectives(t *testing.T) {
+	if got := splitObjectives(""); got != nil {
+		t.Fatalf("blank flag: %v", got)
+	}
+	if got := splitObjectives("  "); got != nil {
+		t.Fatalf("whitespace flag: %v", got)
+	}
+	got := splitObjectives("latency,power,wiring")
+	if len(got) != 3 || got[0] != "latency" || got[2] != "wiring" {
+		t.Fatalf("default split: %v", got)
+	}
+}
+
+// TestCLIParetoMatchesAPIRequest mirrors TestCLISolveMatchesAPIRequest for
+// the frontier path: the flag-built ParetoRequest is deterministic and its
+// encoding carries every point the frontier holds.
+func TestCLIParetoMatchesAPIRequest(t *testing.T) {
+	req := api.ParetoRequest{N: 6, C: 2, Objectives: splitObjectives("latency,power,wiring"), Moves: 1500}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := api.NewParetoResponse(f1).Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.NewParetoResponse(f2).Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("two solves of the same pareto request differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if len(f1.Entries) == 0 {
+		t.Fatal("empty frontier")
+	}
+}
+
 // TestCLISolveMatchesAPIRequest pins the byte-identity contract: the flag
 // path (an api.SolveRequest built from flag values) and a daemon-style
 // request for the same parameters produce identical solutions.

@@ -1,0 +1,202 @@
+package anneal
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"explink/internal/model"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// TestMinimizeParetoScalarEquivalence pins the tentpole refactor contract:
+// the scalar search is the k=1 special case of the vector search, not a
+// sibling algorithm. MinimizePareto over VectorOf(mo) must consume the RNG
+// stream identically to MinimizeMove and land on the same best state with
+// bit-identical objective and counters.
+func TestMinimizeParetoScalarEquivalence(t *testing.T) {
+	cases := []struct {
+		n, c  int
+		seed  uint64
+		moves int
+	}{
+		{8, 3, 1, 2000},
+		{8, 3, 7, 2000},
+		{12, 4, 42, 3000},
+		{16, 2, 9, 1500},
+		{6, 6, 5, 1000},
+	}
+	for _, tc := range cases {
+		init := topo.NewConnMatrix(tc.n, tc.c)
+		seedRNG := stats.NewRNG(tc.seed)
+		init.Randomize(func() bool { return seedRNG.Bool(0.5) })
+		sch := DefaultSchedule().WithMoves(tc.moves)
+
+		scalar := MinimizeMove(context.Background(), init,
+			model.NewIncObjective(p), sch, stats.NewRNG(tc.seed), false)
+		vec := MinimizePareto(context.Background(), init,
+			VectorOf(model.NewIncObjective(p)), ParetoOpts{}, sch, stats.NewRNG(tc.seed))
+
+		if len(vec.Entries) != 1 {
+			t.Fatalf("n=%d c=%d: k=1 archive holds %d entries, want 1", tc.n, tc.c, len(vec.Entries))
+		}
+		e := vec.Entries[0]
+		if e.Objs[0] != scalar.Obj {
+			t.Errorf("n=%d c=%d: pareto best %v != scalar best %v", tc.n, tc.c, e.Objs[0], scalar.Obj)
+		}
+		if !e.Row.Equal(scalar.Row) {
+			t.Errorf("n=%d c=%d: pareto row %v != scalar row %v", tc.n, tc.c, e.Row, scalar.Row)
+		}
+		if vec.Evals != scalar.Evals || vec.Accepted != scalar.Accepted ||
+			vec.Uphill != scalar.Uphill || vec.MemoHits != scalar.MemoHits ||
+			vec.MemoMisses != scalar.MemoMisses {
+			t.Errorf("n=%d c=%d: counters diverge: pareto {E%d A%d U%d H%d M%d} scalar {E%d A%d U%d H%d M%d}",
+				tc.n, tc.c,
+				vec.Evals, vec.Accepted, vec.Uphill, vec.MemoHits, vec.MemoMisses,
+				scalar.Evals, scalar.Accepted, scalar.Uphill, scalar.MemoHits, scalar.MemoMisses)
+		}
+	}
+}
+
+// testVector is a deterministic synthetic 2-D objective over the matrix bit
+// pattern: dimension 0 rewards fewer set bits, dimension 1 rewards more — a
+// pure trade-off, so the non-dominated set is large and exercises the
+// archive.
+type testVector struct {
+	m       *topo.ConnMatrix
+	pending int
+}
+
+func (o *testVector) K() int { return 2 }
+func (o *testVector) Init(m *topo.ConnMatrix, dst []float64) {
+	o.m = m
+	o.eval(dst)
+}
+func (o *testVector) Flip(bit int)       { o.pending = bit }
+func (o *testVector) Eval(dst []float64) { o.eval(dst) }
+func (o *testVector) Commit()            {}
+func (o *testVector) Revert()            {}
+func (o *testVector) eval(dst []float64) {
+	ones := 0
+	key := o.m.AppendKey(nil)
+	for _, b := range key {
+		for ; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	dst[0] = float64(ones)
+	dst[1] = float64(o.m.Bits() - ones)
+}
+
+// TestMinimizeParetoArchiveInvariants checks the archive contract on a
+// genuinely multi-objective search: entries mutually non-dominated, distinct
+// objective vectors, lexicographically sorted, size within the cap, and rows
+// decoding their matrices.
+func TestMinimizeParetoArchiveInvariants(t *testing.T) {
+	init := topo.NewConnMatrix(10, 4)
+	rng := stats.NewRNG(11)
+	init.Randomize(func() bool { return rng.Bool(0.5) })
+	res := MinimizePareto(context.Background(), init, &testVector{},
+		ParetoOpts{ArchiveCap: 8}, DefaultSchedule().WithMoves(2000), stats.NewRNG(11))
+
+	if len(res.Entries) == 0 || len(res.Entries) > 8 {
+		t.Fatalf("archive size %d outside (0, 8]", len(res.Entries))
+	}
+	for i, a := range res.Entries {
+		if !a.Row.Equal(a.Matrix.Row()) {
+			t.Errorf("entry %d: row does not decode matrix", i)
+		}
+		for j, b := range res.Entries {
+			if i != j && stats.WeaklyDominates(a.Objs, b.Objs) {
+				t.Errorf("entry %d weakly dominates entry %d: %v vs %v", i, j, a.Objs, b.Objs)
+			}
+		}
+		if i > 0 && stats.CompareLex(res.Entries[i-1].Objs, a.Objs) >= 0 {
+			t.Errorf("entries not lex-sorted at %d: %v !< %v", i, res.Entries[i-1].Objs, a.Objs)
+		}
+	}
+	// The pure trade-off objective forces more than 8 non-dominated states
+	// through a 2000-move walk, so the pruner must have fired.
+	if res.ArchivePruned == 0 {
+		t.Error("expected the crowding pruner to fire on a capped archive")
+	}
+	// Crowding keeps the frontier's endpoints: the best-seen value in each
+	// dimension must still be present.
+	for d := 0; d < 2; d++ {
+		best := math.Inf(1)
+		for _, e := range res.Entries {
+			if e.Objs[d] < best {
+				best = e.Objs[d]
+			}
+		}
+		if math.IsInf(best, 1) {
+			t.Fatalf("no finite values in dim %d", d)
+		}
+	}
+}
+
+// TestMinimizeParetoDeterminism: same inputs + same seed → deep-equal
+// archives, including entry order.
+func TestMinimizeParetoDeterminism(t *testing.T) {
+	run := func() ParetoResult {
+		init := topo.NewConnMatrix(10, 4)
+		rng := stats.NewRNG(3)
+		init.Randomize(func() bool { return rng.Bool(0.5) })
+		return MinimizePareto(context.Background(), init, &testVector{},
+			ParetoOpts{ArchiveCap: 6}, DefaultSchedule().WithMoves(1500), stats.NewRNG(3))
+	}
+	a, b := run(), run()
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if !reflect.DeepEqual(a.Entries[i].Objs, b.Entries[i].Objs) {
+			t.Errorf("entry %d objs differ: %v vs %v", i, a.Entries[i].Objs, b.Entries[i].Objs)
+		}
+		if !a.Entries[i].Row.Equal(b.Entries[i].Row) {
+			t.Errorf("entry %d rows differ", i)
+		}
+	}
+	if a.Evals != b.Evals || a.Accepted != b.Accepted || a.ArchivePruned != b.ArchivePruned {
+		t.Errorf("counters differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestMinimizeParetoNoMoves pins the degenerate cases: an empty move budget
+// or a zero-bit matrix returns an archive holding exactly the initial state.
+func TestMinimizeParetoNoMoves(t *testing.T) {
+	init := topo.NewConnMatrix(8, 3)
+	rng := stats.NewRNG(2)
+	init.Randomize(func() bool { return rng.Bool(0.5) })
+	res := MinimizePareto(context.Background(), init, &testVector{},
+		ParetoOpts{}, Schedule{T0: 10, Moves: 0}, stats.NewRNG(2))
+	if len(res.Entries) != 1 || res.Evals != 1 {
+		t.Fatalf("zero-move search: %d entries, %d evals", len(res.Entries), res.Evals)
+	}
+	if !res.Entries[0].Row.Equal(init.Row()) {
+		t.Fatal("zero-move search did not return the initial state")
+	}
+
+	c1 := topo.NewConnMatrix(8, 1) // no connection points
+	res = MinimizePareto(context.Background(), c1, &testVector{},
+		ParetoOpts{}, DefaultSchedule(), stats.NewRNG(2))
+	if len(res.Entries) != 1 {
+		t.Fatalf("bitless search returned %d entries", len(res.Entries))
+	}
+}
+
+// TestMinimizeParetoCancel: a pre-cancelled context returns immediately with
+// the initial archive (anytime semantics, like the scalar loop).
+func TestMinimizeParetoCancel(t *testing.T) {
+	init := topo.NewConnMatrix(8, 3)
+	rng := stats.NewRNG(4)
+	init.Randomize(func() bool { return rng.Bool(0.5) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := MinimizePareto(ctx, init, &testVector{}, ParetoOpts{}, DefaultSchedule(), stats.NewRNG(4))
+	if res.Evals != 1 || len(res.Entries) != 1 {
+		t.Fatalf("cancelled search did work: %d evals, %d entries", res.Evals, len(res.Entries))
+	}
+}

@@ -1,0 +1,110 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"explink/internal/core"
+	"explink/internal/runctl"
+)
+
+func TestParetoRequestNormalizeAndValidate(t *testing.T) {
+	r := ParetoRequest{N: 8}
+	r.Normalize()
+	if r.Seed != 1 || r.BaseWidth != 256 {
+		t.Fatalf("defaults wrong: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []ParetoRequest{
+		{N: 1, BaseWidth: 256},
+		{N: 8, C: -1, BaseWidth: 256},
+		{N: 8, Objectives: []string{"area"}, BaseWidth: 256},
+		{N: 8, Objectives: []string{"latency", "latency"}, BaseWidth: 256},
+		{N: 8, Moves: -5, BaseWidth: 256},
+		{N: 8, BaseWidth: -1},
+		{N: 8, BaseWidth: 256, ArchiveCap: -1},
+	}
+	for i, r := range bad {
+		err := r.Validate()
+		if err == nil {
+			t.Fatalf("case %d accepted: %+v", i, r)
+		}
+		if !errors.Is(err, runctl.ErrConfig) {
+			t.Fatalf("case %d: error %v is not ErrConfig-typed", i, err)
+		}
+	}
+}
+
+func TestParetoRequestSpec(t *testing.T) {
+	r := ParetoRequest{N: 8, Objectives: []string{"power", "latency"}, ArchiveCap: 9}
+	spec, err := r.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec.Objectives, []core.Objective{core.ObjPower, core.ObjLatency}) {
+		t.Fatalf("objective order lost: %v", spec.Objectives)
+	}
+	if spec.ArchiveCap != 9 {
+		t.Fatalf("archive cap lost: %d", spec.ArchiveCap)
+	}
+	r.Objectives = nil
+	spec, err = r.Spec()
+	if err != nil || !reflect.DeepEqual(spec.Objectives, core.AllObjectives) {
+		t.Fatalf("default objectives: %v, %v", spec.Objectives, err)
+	}
+}
+
+// TestParetoResponseEncodeStable pins the wire contract: deterministic bytes,
+// trailing newline, and the schema fields the daemon/CLI byte-identity
+// comparison depends on.
+func TestParetoResponseEncodeStable(t *testing.T) {
+	req := ParetoRequest{N: 6, C: 2, Moves: 1500}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := req.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) == 0 {
+		t.Fatal("empty frontier")
+	}
+	var a, b bytes.Buffer
+	if err := NewParetoResponse(f).Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewParetoResponse(f).Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encoding is not deterministic")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("\n")) {
+		t.Fatal("missing trailing newline")
+	}
+	for _, field := range []string{`"objectives"`, `"points"`, `"evaluations"`, `"expressLinks"`, `"widthBits"`} {
+		if !bytes.Contains(a.Bytes(), []byte(field)) {
+			t.Fatalf("schema field %s missing:\n%s", field, a.String())
+		}
+	}
+
+	resp := NewParetoResponse(f)
+	if len(resp.Points) != len(f.Entries) || resp.Evals != f.Evals {
+		t.Fatalf("response shape: %d points / %d evals vs %d / %d",
+			len(resp.Points), resp.Evals, len(f.Entries), f.Evals)
+	}
+	for i, p := range resp.Points {
+		e := f.Entries[i]
+		if p.C != e.C || !reflect.DeepEqual(p.Objectives, e.Objs) ||
+			p.TotalLatency != e.Eval.Total || p.PowerWatts != e.Cost.TotalPower() {
+			t.Fatalf("point %d diverges from entry: %+v vs %+v", i, p, e)
+		}
+	}
+}

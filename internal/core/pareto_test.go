@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"explink/internal/model"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+func paretoSolver8() *Solver {
+	s := NewSolver(model.DefaultConfig(8))
+	s.Sched = s.Sched.WithMoves(1500)
+	return s
+}
+
+func TestParseObjectives(t *testing.T) {
+	all, err := ParseObjectives(nil)
+	if err != nil || !reflect.DeepEqual(all, AllObjectives) {
+		t.Fatalf("empty list: %v, %v", all, err)
+	}
+	all[0] = ObjWiring
+	if AllObjectives[0] != ObjLatency {
+		t.Fatal("ParseObjectives aliases AllObjectives")
+	}
+	got, err := ParseObjectives([]string{" power ", "latency"})
+	if err != nil || !reflect.DeepEqual(got, []Objective{ObjPower, ObjLatency}) {
+		t.Fatalf("trimmed order-preserving parse: %v, %v", got, err)
+	}
+	if _, err := ParseObjectives([]string{"latency", "latency"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := ParseObjectives([]string{"area"}); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+// TestSolveParetoSingleC pins the frontier contract at one link limit:
+// non-empty, mutually non-dominated, lexicographically sorted, every entry
+// feasible with canonical Objs matching its Eval/Cost, and the latency end
+// of the frontier at least as good as the mesh.
+func TestSolveParetoSingleC(t *testing.T) {
+	s := paretoSolver8()
+	f, err := s.SolvePareto(context.Background(), 4, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Objectives, AllObjectives) {
+		t.Fatalf("objectives = %v", f.Objectives)
+	}
+	if len(f.Entries) == 0 || f.Evals <= 0 {
+		t.Fatalf("empty frontier: %d entries, %d evals", len(f.Entries), f.Evals)
+	}
+	for i, e := range f.Entries {
+		if e.C != 4 {
+			t.Errorf("entry %d: C = %d", i, e.C)
+		}
+		if err := e.Row.Validate(e.C); err != nil {
+			t.Errorf("entry %d infeasible: %v", i, err)
+		}
+		want := objsFor(f.Objectives, e.Eval, e.Cost)
+		if !reflect.DeepEqual(e.Objs, want) {
+			t.Errorf("entry %d: Objs %v != canonical %v", i, e.Objs, want)
+		}
+		if i > 0 && stats.CompareLex(f.Entries[i-1].Objs, e.Objs) >= 0 {
+			t.Errorf("entries not sorted at %d", i)
+		}
+		for j, o := range f.Entries {
+			if i != j && stats.Dominates(o.Objs, e.Objs) {
+				t.Errorf("entry %d dominated by %d", i, j)
+			}
+		}
+	}
+	mesh, _ := s.Cfg.EvalRow(topo.MeshRow(8), 1)
+	if best := f.Entries[0]; best.Objs[0] >= mesh.Total {
+		t.Errorf("frontier's best latency %g not below mesh %g", best.Objs[0], mesh.Total)
+	}
+}
+
+// TestSolveParetoSweep: c <= 0 sweeps every feasible limit and the merged
+// frontier spans more than one C (the cross-C trade-off the experiment
+// renders), independent of worker count.
+func TestSolveParetoSweep(t *testing.T) {
+	s := paretoSolver8()
+	f, err := s.SolvePareto(context.Background(), 0, ParetoSpec{Objectives: []Objective{ObjLatency, ObjPower}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := map[int]bool{}
+	for _, e := range f.Entries {
+		cs[e.C] = true
+		if len(e.Objs) != 2 {
+			t.Fatalf("entry has %d dims, want 2", len(e.Objs))
+		}
+	}
+	if len(cs) < 2 {
+		t.Errorf("merged frontier covers only %v", cs)
+	}
+
+	s2 := paretoSolver8()
+	s2.Workers = 1
+	f2, err := s2.SolvePareto(context.Background(), 0, ParetoSpec{Objectives: []Objective{ObjLatency, ObjPower}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, f2) {
+		t.Error("frontier depends on worker count")
+	}
+}
+
+// TestSolveParetoDeterminism: two independent solvers, same seed — deep
+// equal frontiers.
+func TestSolveParetoDeterminism(t *testing.T) {
+	f1, err := paretoSolver8().SolvePareto(context.Background(), 3, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := paretoSolver8().SolvePareto(context.Background(), 3, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("same-seed frontiers differ")
+	}
+	s3 := paretoSolver8()
+	s3.Seed = 99
+	f3, err := s3.SolvePareto(context.Background(), 3, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(f1.Entries, f3.Entries) {
+		t.Error("different seeds produced identical frontiers (suspicious)")
+	}
+}
+
+// TestSolveParetoStoreWarm pins the satellite cache contract: a second
+// solver over the same disk store answers the whole frontier without a
+// single solve, bit-identically.
+func TestSolveParetoStoreWarm(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := paretoSolver8()
+	s.Store = cold
+	f1, err := s.SolvePareto(context.Background(), 0, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Counters().Solves == 0 {
+		t.Fatal("cold run solved nothing")
+	}
+
+	warm, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := paretoSolver8()
+	s2.Store = warm
+	f2, err := s2.SolvePareto(context.Background(), 0, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Counters(); got.Solves != 0 || got.DiskHits == 0 {
+		t.Fatalf("warm run not served from disk: %v", got)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("warm frontier differs from cold")
+	}
+}
+
+// TestSolveParetoStoreCorruptEntry: deleting one per-entry file from the
+// disk store forces exactly one re-anneal, and the re-derived entry matches
+// the original.
+func TestSolveParetoStoreCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := paretoSolver8()
+	s.Store = cold
+	f1, err := s.SolvePareto(context.Background(), 4, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove the entry file for index 0 (identified by its key preimage).
+	spec, _ := ParetoSpec{}.resolved()
+	base := s.paretoKey(4, spec)
+	victim := keyAddress(base + "frontier=entry:0\n")
+	removeStoreFile(t, dir, victim)
+
+	warm, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := paretoSolver8()
+	s2.Store = warm
+	f2, err := s2.SolvePareto(context.Background(), 4, ParetoSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Counters().Solves; got != 1 {
+		t.Fatalf("corrupt entry should cost exactly one solve, got %d", got)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("recovered frontier differs")
+	}
+}
+
+// TestParetoKeySeparation: frontier keys never collide with scalar row keys
+// and respond to every spec knob.
+func TestParetoKeySeparation(t *testing.T) {
+	s := paretoSolver8()
+	spec, _ := ParetoSpec{}.resolved()
+	base := s.paretoKey(4, spec)
+	if !strings.Contains(base, "kind=pareto\n") || strings.Contains(s.rowKey(4, DCSA), "kind=pareto") {
+		t.Fatal("kind separation broken")
+	}
+	spec2 := spec
+	spec2.ArchiveCap = 7
+	if s.paretoKey(4, spec2) == base {
+		t.Error("archive cap not in key")
+	}
+	spec3 := spec
+	spec3.Objectives = []Objective{ObjLatency, ObjPower}
+	if s.paretoKey(4, spec3) == base {
+		t.Error("objective list not in key")
+	}
+	spec4 := spec
+	spec4.Power.WirePerBitUnit *= 2
+	if s.paretoKey(4, spec4) == base {
+		t.Error("power coefficients not in key")
+	}
+}
+
+func removeStoreFile(t *testing.T, dir, addr string) {
+	t.Helper()
+	path := filepath.Join(dir, addr+".json")
+	if err := os.Remove(path); err != nil {
+		t.Fatalf("removing %s: %v", path, err)
+	}
+}

@@ -34,6 +34,12 @@ type StoredPlacement struct {
 	Express []topo.Span `json:"express,omitempty"`
 	Eval    model.Eval  `json:"eval"`
 	Evals   int64       `json:"evals"`
+	// Objs is the canonical objective vector of a frontier entry (ParetoSA
+	// solves only); Count is the archive size recorded by a frontier meta
+	// entry. Both are omitempty so scalar entries keep their pre-frontier
+	// bytes and addresses.
+	Objs  []float64 `json:"objs,omitempty"`
+	Count int       `json:"count,omitempty"`
 }
 
 // Row reconstructs the placement row.
@@ -260,7 +266,7 @@ func (st *PlacementStore) loadDisk(addr, key string) (StoredPlacement, bool) {
 		return StoredPlacement{}, false
 	}
 	sp := e.Placement
-	if sp.N < 1 || sp.C < 1 || sp.Evals < 0 {
+	if sp.N < 1 || sp.C < 1 || sp.Evals < 0 || sp.Count < 0 {
 		return StoredPlacement{}, false
 	}
 	if err := sp.Row().Validate(sp.C); err != nil {

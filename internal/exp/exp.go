@@ -24,6 +24,7 @@
 //	robust      extension: latency degradation under express-link failures
 //	loadlat     load-latency curves connecting Fig. 8a and Fig. 8b
 //	microarch   router sensitivity: VC count (Section 2.2) and buffer budget (Section 4.6)
+//	frontier    extension: {L_avg x power} placement frontier across C
 package exp
 
 import (

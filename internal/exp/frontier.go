@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"explink/internal/core"
+	"explink/internal/power"
+	"explink/internal/stats"
+	"explink/internal/topo"
+)
+
+// FrontierPoint is one non-dominated placement of the merged cross-C
+// frontier, with its objective vector in experiment order.
+type FrontierPoint struct {
+	C       int
+	Width   int // link width in bits at this C
+	Express string
+	Objs    []float64
+}
+
+// FrontierResult is an extension experiment (not in the paper): the scalar
+// objective optimizes L_avg alone, but every extra express link also costs
+// static power, so the interesting design space is the {L_avg x power}
+// trade-off across link limits. The result is the merged Pareto frontier over
+// every feasible C, with the plain mesh as the zero-express reference point.
+type FrontierResult struct {
+	N          int
+	Objectives []core.Objective
+	Mesh       []float64 // the mesh baseline's objective vector (C=1, full width)
+	Points     []FrontierPoint
+	Evals      int64
+}
+
+// Frontier sweeps every feasible link limit through the multi-objective
+// annealer and merges the per-C archives into one {L_avg x power} frontier.
+func Frontier(o Options) (FrontierResult, error) {
+	n := 8
+	if o.Quick {
+		n = 6
+	}
+	s := o.solverFor(n)
+	spec := core.ParetoSpec{Objectives: []core.Objective{core.ObjLatency, core.ObjPower}}
+	f, err := s.SolvePareto(o.ctx(), 0, spec)
+	if err != nil {
+		return FrontierResult{}, err
+	}
+
+	out := FrontierResult{N: n, Objectives: f.Objectives, Evals: f.Evals}
+	for _, e := range f.Entries {
+		out.Points = append(out.Points, FrontierPoint{
+			C: e.C, Width: e.Eval.Width, Express: e.Row.String(), Objs: e.Objs,
+		})
+	}
+
+	// Mesh reference: local links only at C=1's full width, scored by the
+	// same analytic evaluator and sim-free power model as the frontier dims.
+	mesh := topo.MeshRow(n)
+	ev, err := s.Cfg.EvalRow(mesh, 1)
+	if err != nil {
+		return FrontierResult{}, err
+	}
+	cost := power.DefaultModel().PlacementCost(mesh, ev.Width)
+	out.Mesh = []float64{ev.Total, cost.TotalPower()}
+	return out, nil
+}
+
+// Report formats the frontier study: the mesh baseline and every frontier
+// point through the shared dominance-marking table.
+func (r FrontierResult) Report() *stats.Report {
+	rep := stats.NewReport("frontier")
+	dims := make([]string, len(r.Objectives))
+	for i, o := range r.Objectives {
+		dims[i] = string(o)
+	}
+	labels := []string{fmt.Sprintf("mesh (C=1) %s", topo.MeshRow(r.N).String())}
+	points := [][]float64{r.Mesh}
+	for _, p := range r.Points {
+		labels = append(labels, fmt.Sprintf("C=%d %s", p.C, p.Express))
+		points = append(points, p.Objs)
+	}
+	t := rep.Add(stats.FrontierTable(
+		fmt.Sprintf("Extension: {L_avg x power} placement frontier across C on %dx%d", r.N, r.N),
+		dims, labels, points))
+	t.AddNotef("%d non-dominated placements over all feasible C; %d annealer evaluations; power is the sim-free placement model (static + wiring)",
+		len(r.Points), r.Evals)
+	return rep
+}

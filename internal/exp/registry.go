@@ -68,6 +68,7 @@ var registry = []Experiment{
 	reg("robust", "extension: latency degradation under express-link failures", "extension", Robustness),
 	reg("loadlat", "load-latency curves connecting Fig. 8a and Fig. 8b", "extension", LoadLatency),
 	reg("microarch", "router sensitivity: VC count (Section 2.2) and buffer budget (Section 4.6)", "Sections 2.2 and 4.6", Microarch),
+	reg("frontier", "extension: {L_avg x power} placement frontier across C", "extension", Frontier),
 }
 
 // All returns the registered experiments in presentation order.

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+
+	"explink/internal/topo"
+)
+
+// Sim-free per-placement cost: the static power and wiring cost of the
+// uniform replication of one row placement, computed in closed form from the
+// row's degree profile. This is what makes power and wiring cheap enough to
+// sit inside the annealer's move loop as objective dimensions — no topology
+// materialization, no simulation, O(n) per evaluation.
+
+// DefaultWirePerBitUnit is the static wiring coefficient of DefaultModel:
+// watts of repeater/driver leakage per wire bit per unit-length (one mesh
+// hop) segment, 32 nm-class global wiring. At 256-bit links it prices the
+// 8x8 mesh's 112 channel segments near 0.1 W — a visible but not dominant
+// dimension, matching the paper's argument that wiring stays secondary until
+// express spans get long.
+const DefaultWirePerBitUnit = 3.5e-6
+
+// PlacementCost is the analytical cost of one row placement replicated
+// across an n x n network (the lemma of Section 4.2): component static power
+// plus the wiring of every channel in both dimensions.
+type PlacementCost struct {
+	Static StaticBreakdown // watts, network-wide
+
+	// WireUnits counts distinct unit-length channel segments over the whole
+	// network: each of the 2n replicated lines contributes its local links
+	// plus the spanned length of each distinct express channel.
+	WireUnits int
+	// WireBitUnits is WireUnits times the link width — the wire count a
+	// floorplanner would route.
+	WireBitUnits float64
+	// Wiring is the wiring static power in watts: WireBitUnits times the
+	// model's WirePerBitUnit.
+	Wiring float64
+}
+
+// TotalPower returns static plus wiring power in watts.
+func (c PlacementCost) TotalPower() float64 { return c.Static.Total() + c.Wiring }
+
+func (c PlacementCost) String() string {
+	return fmt.Sprintf("static=%.3fW (buf %.3f xbar %.3f other %.3f) wiring=%.3fW (%d units, %.0f bit-units) total=%.3fW",
+		c.Static.Total(), c.Static.Buffer, c.Static.Crossbar, c.Static.Other,
+		c.Wiring, c.WireUnits, c.WireBitUnits, c.TotalPower())
+}
+
+// wireUnitsRow returns the distinct unit-length segments of one line: the
+// n-1 local links plus the length of every distinct express span. Exact
+// duplicates and length-1 spans add no segment — mirroring Row.Degree, which
+// counts distinct neighbors, so wiring and crossbar cost always agree on
+// which channels exist.
+func wireUnitsRow(r topo.Row) int {
+	units := r.N - 1
+	if len(r.Express) == 0 {
+		return units
+	}
+	seen := make(map[topo.Span]bool, len(r.Express))
+	for _, s := range r.Express {
+		if s.To-s.From <= 1 || seen[s] {
+			continue
+		}
+		seen[s] = true
+		units += s.To - s.From
+	}
+	return units
+}
+
+// PlacementCost evaluates the sim-free cost of replicating row uniformly on
+// a row.N x row.N network at the given link width.
+//
+// The static terms are the closed form of Static(topo.Uniform(...)): with
+// e_i = row.Degree(i), S1 = Σe_i and S2 = Σe_i², a router at (x, y) has
+// k = e_x + e_y + 1 ports, so Σk = 2n·S1 + n² and Σk² = 2n·S2 + 2·S1² +
+// 4n·S1 + n². Values agree with the per-router sum to float rounding
+// (pinned within 1e-9 relative by TestPlacementCostMatchesStatic).
+func (m Model) PlacementCost(row topo.Row, widthBits int) PlacementCost {
+	n := row.N
+	s1, s2 := 0, 0
+	for i := 0; i < n; i++ {
+		e := row.Degree(i)
+		s1 += e
+		s2 += e * e
+	}
+	sumK := 2*n*s1 + n*n
+	sumK2 := 2*n*s2 + 2*s1*s1 + 4*n*s1 + n*n
+
+	var c PlacementCost
+	c.Static.Buffer = float64(n*n) * float64(m.BufBitsPerRouter) * m.Static.BufPerBit
+	c.Static.Crossbar = float64(widthBits) * float64(sumK2) * m.Static.XbarPerBK2
+	c.Static.Other = float64(n*n)*m.Static.OtherBase + m.Static.OtherPerPort*float64(2*sumK)
+
+	c.WireUnits = 2 * n * wireUnitsRow(row)
+	c.WireBitUnits = float64(c.WireUnits) * float64(widthBits)
+	c.Wiring = c.WireBitUnits * m.WirePerBitUnit
+	return c
+}

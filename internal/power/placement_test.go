@@ -1,0 +1,106 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"explink/internal/topo"
+)
+
+// TestPlacementCostMatchesStatic pins the closed form against the per-router
+// sum: for any row, PlacementCost's static terms must equal
+// Static(topo.Uniform(...)) up to float rounding.
+func TestPlacementCostMatchesStatic(t *testing.T) {
+	m := DefaultModel()
+	rows := []topo.Row{
+		topo.MeshRow(8),
+		topo.NewRow(8, topo.Span{From: 0, To: 3}, topo.Span{From: 3, To: 7}),
+		topo.NewRow(8, topo.Span{From: 0, To: 7}, topo.Span{From: 2, To: 5}, topo.Span{From: 1, To: 6}),
+		topo.HFBRow(8),
+		topo.MeshRow(16),
+		topo.NewRow(4, topo.Span{From: 0, To: 2}),
+	}
+	for _, row := range rows {
+		got := m.PlacementCost(row, 256)
+		want := Static(topo.Uniform("x", row.N, row), 256, m.BufBitsPerRouter, m.Static)
+		check := func(name string, g, w float64) {
+			if w == 0 {
+				if g != 0 {
+					t.Errorf("%v %s: got %v want 0", row, name, g)
+				}
+				return
+			}
+			if rel := math.Abs(g-w) / math.Abs(w); rel > 1e-9 {
+				t.Errorf("%v %s: got %v want %v (rel %g)", row, name, g, w, rel)
+			}
+		}
+		check("buffer", got.Static.Buffer, want.Buffer)
+		check("crossbar", got.Static.Crossbar, want.Crossbar)
+		check("other", got.Static.Other, want.Other)
+	}
+}
+
+// TestPlacementCostWiring pins the wiring definition: local links plus
+// distinct express span lengths, replicated over 2n lines, with exact
+// duplicates and length-1 spans contributing nothing (they add no channel —
+// same rule Degree uses).
+func TestPlacementCostWiring(t *testing.T) {
+	m := DefaultModel()
+
+	mesh := m.PlacementCost(topo.MeshRow(8), 256)
+	if want := 2 * 8 * 7; mesh.WireUnits != want {
+		t.Errorf("mesh wire units = %d, want %d", mesh.WireUnits, want)
+	}
+	if want := float64(2*8*7) * 256; mesh.WireBitUnits != want {
+		t.Errorf("mesh wire bit-units = %v, want %v", mesh.WireBitUnits, want)
+	}
+	if want := mesh.WireBitUnits * m.WirePerBitUnit; mesh.Wiring != want {
+		t.Errorf("mesh wiring = %v, want %v", mesh.Wiring, want)
+	}
+
+	// 7 local + spans 3 and 4 long: 14 units per line.
+	spans := m.PlacementCost(topo.NewRow(8,
+		topo.Span{From: 0, To: 3}, topo.Span{From: 3, To: 7}), 256)
+	if want := 2 * 8 * 14; spans.WireUnits != want {
+		t.Errorf("express wire units = %d, want %d", spans.WireUnits, want)
+	}
+
+	// A duplicate span adds no wiring (and a degenerate length-1 span — not
+	// constructible via NewRow but defended against — adds none either).
+	dup := m.PlacementCost(topo.Row{N: 8, Express: []topo.Span{
+		{From: 0, To: 3}, {From: 3, To: 7},
+		{From: 0, To: 3}, {From: 4, To: 5}}}, 256)
+	if dup.WireUnits != spans.WireUnits {
+		t.Errorf("duplicate/length-1 spans changed wiring: %d vs %d", dup.WireUnits, spans.WireUnits)
+	}
+
+	if total := mesh.TotalPower(); total != mesh.Static.Total()+mesh.Wiring {
+		t.Errorf("TotalPower = %v, want %v", total, mesh.Static.Total()+mesh.Wiring)
+	}
+	if s := mesh.String(); !strings.Contains(s, "wiring=") || !strings.Contains(s, "static=") {
+		t.Errorf("String missing components: %s", s)
+	}
+}
+
+// TestPlacementCostMonotone: longer express spans cost strictly more power
+// and wiring than the bare mesh — the trade-off axis the Pareto search
+// exposes.
+func TestPlacementCostMonotone(t *testing.T) {
+	m := DefaultModel()
+	mesh := m.PlacementCost(topo.MeshRow(8), 256)
+	express := m.PlacementCost(topo.NewRow(8, topo.Span{From: 0, To: 7}), 256)
+	if express.TotalPower() <= mesh.TotalPower() {
+		t.Errorf("express placement not costlier: %v vs %v", express.TotalPower(), mesh.TotalPower())
+	}
+	if express.WireUnits <= mesh.WireUnits {
+		t.Errorf("express wiring not larger: %d vs %d", express.WireUnits, mesh.WireUnits)
+	}
+	if express.Static.Crossbar <= mesh.Static.Crossbar {
+		t.Errorf("express crossbar not larger")
+	}
+	if express.Static.Buffer != mesh.Static.Buffer {
+		t.Errorf("buffer static must stay equal across schemes: %v vs %v",
+			express.Static.Buffer, mesh.Static.Buffer)
+	}
+}

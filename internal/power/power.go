@@ -142,6 +142,9 @@ type Model struct {
 	FreqGHz  float64
 	// BufBitsPerRouter mirrors the simulator's equal-buffer rule.
 	BufBitsPerRouter int
+	// WirePerBitUnit is the static wiring coefficient used by PlacementCost:
+	// watts per wire bit per unit-length channel segment.
+	WirePerBitUnit float64
 }
 
 // DefaultModel returns the calibrated 1 GHz model with the simulator's
@@ -152,6 +155,7 @@ func DefaultModel() Model {
 		Static:           DefaultStatic(),
 		FreqGHz:          1.0,
 		BufBitsPerRouter: sim.DefaultBufBits,
+		WirePerBitUnit:   DefaultWirePerBitUnit,
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"explink/internal/core"
 	"explink/internal/model"
 	"explink/internal/sim"
 	"explink/internal/topo"
@@ -119,23 +118,6 @@ func TestStaticDominatesAtLowLoad(t *testing.T) {
 	}
 }
 
-func TestExpressReducesDynamicPower(t *testing.T) {
-	// Fewer hops -> less switching activity -> lower dynamic power
-	// (Section 4.6). Compare an optimized placement against the mesh at the
-	// same offered load.
-	solver := core.NewSolver(model.DefaultConfig(8))
-	sol, err := solver.SolveRow(context.Background(), 4, core.DCSA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opt := runFor(t, solver.Topology(sol), 4, 0.02)
-	mesh := runFor(t, topo.Mesh(8), 1, 0.02)
-	if opt.Dynamic.Total() >= mesh.Dynamic.Total() {
-		t.Fatalf("optimized dynamic %.3fW not below mesh %.3fW",
-			opt.Dynamic.Total(), mesh.Dynamic.Total())
-	}
-}
-
 func TestReportString(t *testing.T) {
 	rep := runFor(t, topo.Mesh(4), 1, 0.01)
 	s := rep.String()
@@ -181,45 +163,5 @@ func TestEnergyOfErrors(t *testing.T) {
 	}
 	if _, err := m.EnergyOf(Report{}, sim.Result{Cycles: 100}); err == nil {
 		t.Fatal("zero-traffic run accepted")
-	}
-}
-
-func TestExpressImprovesEDP(t *testing.T) {
-	// The optimized design should win on energy-delay product: lower latency
-	// and lower dynamic power at similar static power.
-	solver := core.NewSolver(model.DefaultConfig(8))
-	sol, err := solver.SolveRow(context.Background(), 4, core.DCSA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	edpOf := func(tp topo.Topology, c int) float64 {
-		cfg := sim.NewConfig(tp, c, traffic.UniformRandom(8), 0.02)
-		cfg.Warmup, cfg.Measure, cfg.Drain = 500, 4000, 20000
-		s, err := sim.New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := s.Run(context.Background())
-		if err != nil {
-			t.Fatal(err)
-		}
-		w, err := model.DefaultBandwidth().Width(c)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rep, err := DefaultModel().Estimate(tp, w, res)
-		if err != nil {
-			t.Fatal(err)
-		}
-		e, err := DefaultModel().EnergyOf(rep, res)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return e.EDP
-	}
-	meshEDP := edpOf(topo.Mesh(8), 1)
-	optEDP := edpOf(solver.Topology(sol), 4)
-	if optEDP >= meshEDP {
-		t.Fatalf("optimized EDP %.2f not below mesh %.2f", optEDP, meshEDP)
 	}
 }

@@ -1,0 +1,81 @@
+// External test package: these tests drive the power model with placements
+// produced by internal/core, which itself imports internal/power (the
+// frontier's sim-free cost dimensions) — an in-package test would be an
+// import cycle.
+package power_test
+
+import (
+	"context"
+	"testing"
+
+	"explink/internal/core"
+	"explink/internal/model"
+	"explink/internal/power"
+	"explink/internal/sim"
+	"explink/internal/topo"
+	"explink/internal/traffic"
+)
+
+// runSolved simulates a topology at the given rate and estimates its power.
+func runSolved(t *testing.T, tp topo.Topology, c int, rate float64) (power.Report, sim.Result) {
+	t.Helper()
+	cfg := sim.NewConfig(tp, c, traffic.UniformRandom(8), rate)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 500, 4000, 20000
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := model.DefaultBandwidth().Width(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := power.DefaultModel().Estimate(tp, w, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, res
+}
+
+func TestExpressReducesDynamicPower(t *testing.T) {
+	// Fewer hops -> less switching activity -> lower dynamic power
+	// (Section 4.6). Compare an optimized placement against the mesh at the
+	// same offered load.
+	solver := core.NewSolver(model.DefaultConfig(8))
+	sol, err := solver.SolveRow(context.Background(), 4, core.DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := runSolved(t, solver.Topology(sol), 4, 0.02)
+	mesh, _ := runSolved(t, topo.Mesh(8), 1, 0.02)
+	if opt.Dynamic.Total() >= mesh.Dynamic.Total() {
+		t.Fatalf("optimized dynamic %.3fW not below mesh %.3fW",
+			opt.Dynamic.Total(), mesh.Dynamic.Total())
+	}
+}
+
+func TestExpressImprovesEDP(t *testing.T) {
+	// The optimized design should win on energy-delay product: lower latency
+	// and lower dynamic power at similar static power.
+	solver := core.NewSolver(model.DefaultConfig(8))
+	sol, err := solver.SolveRow(context.Background(), 4, core.DCSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edpOf := func(tp topo.Topology, c int) float64 {
+		rep, res := runSolved(t, tp, c, 0.02)
+		e, err := power.DefaultModel().EnergyOf(rep, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.EDP
+	}
+	meshEDP := edpOf(topo.Mesh(8), 1)
+	optEDP := edpOf(solver.Topology(sol), 4)
+	if optEDP >= meshEDP {
+		t.Fatalf("optimized EDP %.2f not below mesh %.2f", optEDP, meshEDP)
+	}
+}

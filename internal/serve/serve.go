@@ -102,6 +102,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /"+api.SchemaVersion+"/eval", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, "eval") })
 	s.mux.HandleFunc("POST /"+api.SchemaVersion+"/sim", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, "sim") })
 	s.mux.HandleFunc("POST /"+api.SchemaVersion+"/exp", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, "exp") })
+	s.mux.HandleFunc("POST /"+api.SchemaVersion+"/pareto", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, "pareto") })
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	if cfg.Reg != nil {
 		reg := cfg.Reg
@@ -182,7 +183,30 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, op string) {
 		s.handleSim(ctx, w, r)
 	case "exp":
 		s.handleExp(ctx, w, r)
+	case "pareto":
+		s.handlePareto(ctx, w, r)
 	}
+}
+
+func (s *Server) handlePareto(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var req api.ParetoRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.writeError(w, "pareto", err)
+		return
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		s.writeError(w, "pareto", err)
+		return
+	}
+	f, err := req.Solve(ctx, s.store)
+	if err != nil {
+		s.writeError(w, "pareto", err)
+		return
+	}
+	// Encode (not the sanitizer): these bytes must equal `explink -pareto -json`.
+	w.Header().Set("Content-Type", "application/json")
+	api.NewParetoResponse(f).Encode(w)
 }
 
 func (s *Server) handleSolve(ctx context.Context, w http.ResponseWriter, r *http.Request) {

@@ -27,15 +27,17 @@ import (
 //	→ {"id":2,"op":"eval","req":{"n":8,"c":3,"express":[...]}}
 //	← {"id":2,"ok":false,"error":{"kind":"config","message":"..."}}
 //
-// Ops: solve, eval, sim, exp (api.SolveRequest/EvalRequest/SimRequest/
-// ExpRequest payloads), ping (liveness + drain status, never gated) and
-// shutdown (stop reading, finish in-flight work, exit the loop).
+// Ops: solve, eval, sim, exp, pareto (api.SolveRequest/EvalRequest/
+// SimRequest/ExpRequest/ParetoRequest payloads), ping (liveness + drain
+// status, never gated) and shutdown (stop reading, finish in-flight work,
+// exit the loop).
 
 // stdioRequest is one inbound line.
 type stdioRequest struct {
 	// ID is echoed verbatim on the response; any JSON value works.
 	ID json.RawMessage `json:"id,omitempty"`
-	// Op selects the operation: solve, eval, sim, exp, ping, shutdown.
+	// Op selects the operation: solve, eval, sim, exp, pareto, ping,
+	// shutdown.
 	Op string `json:"op"`
 	// Req is the op's request payload (same schema as the HTTP body).
 	Req json.RawMessage `json:"req,omitempty"`
@@ -132,7 +134,7 @@ func (s *Server) ServeStdio(ctx context.Context, r io.Reader, w io.Writer) error
 			case "shutdown":
 				write(stdioResponse{ID: req.ID, OK: true})
 				return nil
-			case "solve", "eval", "sim", "exp":
+			case "solve", "eval", "sim", "exp", "pareto":
 				wg.Add(1)
 				go func(req stdioRequest) {
 					defer wg.Done()
@@ -248,6 +250,20 @@ func (s *Server) stdioRun(ctx context.Context, req stdioRequest) (any, error) {
 			return nil, err
 		}
 		return s.runExp(ctx, sel, &xr, nil), nil
+	case "pareto":
+		var pr api.ParetoRequest
+		if err := unmarshalReq(req.Req, &pr); err != nil {
+			return nil, err
+		}
+		pr.Normalize()
+		if err := pr.Validate(); err != nil {
+			return nil, err
+		}
+		f, err := pr.Solve(ctx, s.store)
+		if err != nil {
+			return nil, err
+		}
+		return api.NewParetoResponse(f), nil
 	}
 	return nil, fmt.Errorf("unknown op %q: %w", req.Op, runctl.ErrConfig)
 }

@@ -1,0 +1,10 @@
+package sim
+
+// StepForTest advances the engine exactly one cycle outside the Run loop — a
+// hook for external test packages (sim_test) that also need internal/core,
+// which transitively imports this package; an in-package test importing core
+// would be an import cycle.
+func (s *Simulator) StepForTest() {
+	s.step()
+	s.now++
+}

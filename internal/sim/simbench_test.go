@@ -1,4 +1,8 @@
-package sim
+// External test package: the benchmark setup solves a placement through
+// internal/core, which transitively imports internal/sim (via the power
+// model) — an in-package test would be an import cycle. Stepping uses the
+// StepForTest hook from export_test.go.
+package sim_test
 
 import (
 	"context"
@@ -7,6 +11,7 @@ import (
 
 	"explink/internal/core"
 	"explink/internal/model"
+	"explink/internal/sim"
 	"explink/internal/topo"
 	"explink/internal/traffic"
 )
@@ -39,17 +44,16 @@ func dcsaTopo8(tb testing.TB) (topo.Topology, int) {
 
 // steadySim builds a simulator stepped past warmup into steady state, with an
 // effectively infinite measurement window so injection never stops.
-func steadySim(tb testing.TB, tp topo.Topology, c int, rate float64, warmCycles int) *Simulator {
-	cfg := NewConfig(tp, c, traffic.UniformRandom(8), rate)
+func steadySim(tb testing.TB, tp topo.Topology, c int, rate float64, warmCycles int) *sim.Simulator {
+	cfg := sim.NewConfig(tp, c, traffic.UniformRandom(8), rate)
 	cfg.Seed = 1
 	cfg.Measure = 1 << 30
-	s, err := New(cfg)
+	s, err := sim.New(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	for i := 0; i < warmCycles; i++ {
-		s.step()
-		s.now++
+		s.StepForTest()
 	}
 	return s
 }
@@ -59,8 +63,7 @@ func benchStep(b *testing.B, tp topo.Topology, c int, rate float64) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.step()
-		s.now++
+		s.StepForTest()
 	}
 	b.StopTimer()
 	if sec := b.Elapsed().Seconds(); sec > 0 {
@@ -84,12 +87,12 @@ func BenchmarkStep8x8UR(b *testing.B) {
 // BenchmarkRun4x4UR measures a whole short simulation (New+Run), covering
 // construction, warmup, measurement and drain.
 func BenchmarkRun4x4UR(b *testing.B) {
-	cfg := NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
+	cfg := sim.NewConfig(topo.Mesh(4), 1, traffic.UniformRandom(4), 0.05)
 	cfg.Seed = 1
 	cfg.Warmup, cfg.Measure, cfg.Drain = 200, 1000, 3000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s, err := New(cfg)
+		s, err := sim.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,8 +110,7 @@ func BenchmarkRun4x4UR(b *testing.B) {
 func TestStepSteadyStateZeroAllocs(t *testing.T) {
 	s := steadySim(t, topo.Mesh(8), 1, 0.05, 5000)
 	allocs := testing.AllocsPerRun(300, func() {
-		s.step()
-		s.now++
+		s.StepForTest()
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state step allocates %.0f objects/cycle; want 0", allocs)

@@ -1,0 +1,123 @@
+package stats
+
+import "fmt"
+
+// Pareto-dominance utilities over objective vectors (lower is better in
+// every dimension). They are the comparator layer under the vector-objective
+// placement search: anneal's archive acceptance, core's frontier merge and
+// the frontier report table all share these definitions, so "dominates"
+// means exactly one thing across the repo.
+
+// Dominates reports whether objective vector a Pareto-dominates b: a is no
+// worse in every dimension and strictly better in at least one. Vectors must
+// have equal length; mismatched lengths never dominate. Comparisons involving
+// NaN are false, so a vector carrying NaN dominates nothing — which keeps the
+// relation irreflexive, antisymmetric and transitive for arbitrary float
+// inputs (pinned by FuzzDominates).
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] || a[i] != a[i] { // worse, or NaN in a
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// WeaklyDominates reports whether a is no worse than b in every dimension
+// (equality allowed everywhere). This is the archive-entry rejection test: a
+// candidate weakly dominated by an existing entry adds nothing to a frontier.
+func WeaklyDominates(a, b []float64) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	for i := range a {
+		if a[i] > b[i] || a[i] != a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParetoFront returns the indices of the non-dominated points, in input
+// order. Duplicate vectors do not dominate each other, so every copy of a
+// non-dominated point survives; callers that want set semantics dedupe
+// afterwards. The O(n²) scan is deliberate — frontier sizes here are tens of
+// points, not thousands.
+func ParetoFront(points [][]float64) []int {
+	var front []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// CompareLex orders objective vectors lexicographically (dimension 0 first),
+// the deterministic presentation order of frontier entries. Shorter vectors
+// sort before longer ones when equal on the shared prefix.
+func CompareLex(a, b []float64) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// FrontierTable renders a set of labelled objective vectors as a report
+// table: one row per point with a label column, one %.4g column per
+// dimension, and a trailing "front" column marking the Pareto-optimal rows
+// with '*'. Rows render in input order; membership is computed here with
+// ParetoFront so every frontier table in the repo marks dominance the same
+// way.
+func FrontierTable(title string, dims []string, labels []string, points [][]float64) *Table {
+	header := append([]string{"placement"}, dims...)
+	header = append(header, "front")
+	t := NewTable(title, header...)
+	onFront := make(map[int]bool)
+	for _, i := range ParetoFront(points) {
+		onFront[i] = true
+	}
+	for i, p := range points {
+		row := make([]string, 0, len(p)+2)
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		row = append(row, label)
+		for _, v := range p {
+			row = append(row, fmt.Sprintf("%.4g", v))
+		}
+		mark := ""
+		if onFront[i] {
+			mark = "*"
+		}
+		row = append(row, mark)
+		t.AddRow(row...)
+	}
+	return t
+}

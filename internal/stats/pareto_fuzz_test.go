@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDominates pins the order-theoretic contract of the dominance
+// comparator on arbitrary float vectors (k ∈ {2, 3}, including NaN and ±Inf
+// payloads): the relation must be a strict partial order — irreflexive,
+// antisymmetric and transitive — and Dominates must imply WeaklyDominates.
+// The vector-objective annealer's archive converges only because these hold.
+func FuzzDominates(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{3, 0xff, 0xf0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	seed := make([]byte, 1+3*3*8)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		k := 2 + int(data[0])%2 // k in {2, 3}
+		data = data[1:]
+		vec := func(i int) []float64 {
+			v := make([]float64, k)
+			for d := 0; d < k; d++ {
+				off := (i*k + d) * 8
+				if off+8 <= len(data) {
+					v[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+				}
+			}
+			return v
+		}
+		a, b, c := vec(0), vec(1), vec(2)
+
+		for _, v := range [][]float64{a, b, c} {
+			if Dominates(v, v) {
+				t.Fatalf("irreflexivity violated: %v dominates itself", v)
+			}
+		}
+		if Dominates(a, b) && Dominates(b, a) {
+			t.Fatalf("antisymmetry violated: %v <-> %v", a, b)
+		}
+		if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+			t.Fatalf("transitivity violated: %v > %v > %v", a, b, c)
+		}
+		if Dominates(a, b) && !WeaklyDominates(a, b) {
+			t.Fatalf("strict without weak dominance: %v vs %v", a, b)
+		}
+	})
+}
