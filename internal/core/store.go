@@ -201,25 +201,38 @@ func (st *PlacementStore) GetOrCompute(key string, compute func() (StoredPlaceme
 		<-fl
 		st.mu.Lock()
 	}
+	// Register the in-flight marker before touching the disk, then do every
+	// read/write outside the mutex: a slow disk (or N workers hammering one
+	// shared -cache-dir over NFS) must stall only callers of this key, never
+	// every concurrent memory hit. Same-key callers wait on fl as usual.
+	fl := make(chan struct{})
+	st.inflight[addr] = fl
+	st.mu.Unlock()
+
 	if sp, ok := st.loadDisk(addr, key); ok {
+		st.mu.Lock()
 		st.mem[addr] = sp
+		delete(st.inflight, addr)
 		st.counters.Hits++
 		st.counters.DiskHits++
+		close(fl)
 		st.mu.Unlock()
 		return sp, true, nil
 	}
-	fl := make(chan struct{})
-	st.inflight[addr] = fl
+
+	st.mu.Lock()
 	st.counters.Solves++
 	st.mu.Unlock()
 
 	sp, err := compute()
 
+	if err == nil {
+		st.saveDisk(addr, key, sp)
+	}
 	st.mu.Lock()
 	delete(st.inflight, addr)
 	if err == nil {
 		st.mem[addr] = sp
-		st.saveDisk(addr, key, sp)
 	}
 	close(fl)
 	st.mu.Unlock()
@@ -249,7 +262,8 @@ func (st *PlacementStore) path(addr string) string {
 }
 
 // loadDisk reads and validates one entry; every failure mode is a miss.
-// Called with st.mu held.
+// Called without st.mu (it touches only the immutable dir), so slow disk
+// reads never block concurrent memory hits.
 func (st *PlacementStore) loadDisk(addr, key string) (StoredPlacement, bool) {
 	if st.dir == "" {
 		return StoredPlacement{}, false
@@ -277,7 +291,10 @@ func (st *PlacementStore) loadDisk(addr, key string) (StoredPlacement, bool) {
 
 // saveDisk persists one entry atomically (write to a temp file, then
 // rename); persistence failures are ignored — the cache is an accelerator,
-// not a system of record. Called with st.mu held.
+// not a system of record. Called without st.mu: the temp-file + rename
+// pattern is already safe against concurrent writers of the same address
+// (including other processes sharing the directory), and keeping the write
+// off the lock keeps one slow disk from serializing the whole store.
 func (st *PlacementStore) saveDisk(addr, key string, sp StoredPlacement) {
 	if st.dir == "" {
 		return

@@ -417,3 +417,112 @@ func TestStoreSweepsStaleTempFiles(t *testing.T) {
 		t.Fatal("memory-only store reported sweeps")
 	}
 }
+
+// TestStoreCrossProcessSharedDir models N worker processes sharing one
+// -cache-dir (the sweep fabric's deployment shape) with two independent
+// store instances over one directory: concurrent GetOrCompute of the same
+// key must both succeed with bit-identical results (single-flight is
+// per-process, so each store may solve once — but the atomic temp+rename
+// write keeps the disk entry valid under the collision), and a third store
+// opening the directory afterwards must answer purely from disk.
+func TestStoreCrossProcessSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	solve := func(st *PlacementStore) (RowSolution, error) {
+		s := quickSolver(6)
+		s.Store = st
+		return s.SolveRow(context.Background(), 3, DCSA)
+	}
+
+	stA, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		sols [2]RowSolution
+		errs [2]error
+	)
+	for i, st := range []*PlacementStore{stA, stB} {
+		wg.Add(1)
+		go func(i int, st *PlacementStore) {
+			defer wg.Done()
+			sols[i], errs[i] = solve(st)
+		}(i, st)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(sols[0], sols[1]) {
+		t.Fatalf("stores disagree:\n%+v\n%+v", sols[0], sols[1])
+	}
+	for i, st := range []*PlacementStore{stA, stB} {
+		if c := st.Counters(); c.Solves > 1 {
+			t.Fatalf("store %d solved %d times", i, c.Solves)
+		}
+	}
+
+	stC, err := NewPlacementStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solve(stC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol, sols[0]) {
+		t.Fatalf("disk round-trip disagrees:\n%+v\n%+v", sol, sols[0])
+	}
+	if c := stC.Counters(); c.Solves != 0 || c.DiskHits != 1 {
+		t.Fatalf("third store did not answer from disk: %v", c)
+	}
+}
+
+// TestStoreDiskProbeDoesNotBlockMemoryHits pins the lock scope of the
+// store's disk path: while one key's compute (registered in-flight, mutex
+// released) is stalled, memory hits on other keys must complete immediately.
+func TestStoreDiskProbeDoesNotBlockMemoryHits(t *testing.T) {
+	st, err := NewPlacementStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := StoredPlacement{Algo: DCSA, C: 1, N: 4, Eval: model.Eval{}, Evals: 1}
+	if _, _, err := st.GetOrCompute("hot", func() (StoredPlacement, error) { return seed, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	enterSlow := make(chan struct{})
+	releaseSlow := make(chan struct{})
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		st.GetOrCompute("cold", func() (StoredPlacement, error) {
+			close(enterSlow)
+			<-releaseSlow
+			return seed, nil
+		})
+	}()
+	<-enterSlow
+
+	// The cold key's compute holds no lock: hot hits must not queue behind it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, cached, err := st.GetOrCompute("hot", nil); err != nil || !cached {
+			t.Errorf("hot hit failed: cached=%v err=%v", cached, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("memory hit blocked behind an in-flight compute")
+	}
+	close(releaseSlow)
+	<-slowDone
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"explink/internal/obs"
+	"explink/internal/runctl"
 	"explink/internal/stats"
 )
 
@@ -67,11 +68,15 @@ func RunAll(ctx context.Context, sel []Experiment, opts Options, parallel int, e
 	if ctx != nil {
 		opts.Ctx = ctx
 	}
+	runCtx := opts.ctx()
 	m := expMet.Load()
 	suiteStart := time.Now()
 	ev.Emit("suite.start", map[string]any{"experiments": len(sel), "parallel": parallel})
 	if m != nil {
-		m.queued.Set(int64(len(sel)))
+		// Add, not Set: concurrent suites (e.g. the daemon or the sweep
+		// fabric running several ExpRequests at once) share one gauge, and a
+		// Set from one suite would erase the other's backlog.
+		m.queued.Add(int64(len(sel)))
 	}
 
 	out := make([]Outcome, len(sel))
@@ -81,7 +86,22 @@ func RunAll(ctx context.Context, sel []Experiment, opts Options, parallel int, e
 		wg.Add(1)
 		go func(i int, e Experiment) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// Honour the cancellation contract while queued: a cancelled ctx
+			// must fail unstarted experiments quickly, so waiting for a slot
+			// races against ctx instead of always acquiring first. The slot
+			// re-check after acquiring closes the window where the semaphore
+			// and the cancellation are simultaneously ready.
+			select {
+			case sem <- struct{}{}:
+				if runCtx.Err() != nil {
+					<-sem
+					out[i] = cancelOutcome(e, runCtx, m, ev)
+					return
+				}
+			case <-runCtx.Done():
+				out[i] = cancelOutcome(e, runCtx, m, ev)
+				return
+			}
 			defer func() { <-sem }()
 			if m != nil {
 				m.queued.Add(-1)
@@ -125,4 +145,19 @@ func RunAll(ctx context.Context, sel []Experiment, opts Options, parallel int, e
 	ev.Emit("suite.finish", map[string]any{
 		"experiments": len(sel), "failed": failed, "seconds": time.Since(suiteStart).Seconds()})
 	return out
+}
+
+// cancelOutcome fills an experiment's slot without running it: the suite
+// context died while the experiment was still waiting for a worker slot. The
+// error classifies as runctl.ErrCancelled, same as an experiment interrupted
+// mid-run, and the scheduling metrics/events account for the slot so gauges
+// return to zero.
+func cancelOutcome(e Experiment, ctx context.Context, m *metricSet, ev *obs.EventWriter) Outcome {
+	err := runctl.Cancelled(ctx)
+	if m != nil {
+		m.queued.Add(-1)
+		m.failed.Inc()
+	}
+	ev.Emit("experiment.error", map[string]any{"name": e.Name, "seconds": 0.0, "error": err.Error()})
+	return Outcome{Exp: e, Err: err}
 }

@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"explink/internal/core"
 	"explink/internal/obs"
 	"explink/internal/runctl"
+	"explink/internal/stats"
 )
 
 func mustLookup(t *testing.T, names ...string) []Experiment {
@@ -122,6 +125,90 @@ func TestRunAllMetricsAndEvents(t *testing.T) {
 	for i := range want {
 		if seq[i] != want[i] {
 			t.Fatalf("event sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestRunAllCancelledZeroRuns pins the cancellation contract: with the suite
+// context already dead, RunAll must fail every experiment quickly without
+// calling a single Run — no worker slot may be spent starting work the
+// caller no longer wants. This is the fast-drain path the sweep fabric's
+// workers rely on.
+func TestRunAllCancelledZeroRuns(t *testing.T) {
+	var runs atomic.Int64
+	sel := make([]Experiment, 8)
+	for i := range sel {
+		sel[i] = Experiment{
+			Name: fmt.Sprintf("fake%d", i),
+			Run: func(Options) (*stats.Report, error) {
+				runs.Add(1)
+				return stats.NewReport("fake"), nil
+			},
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := RunAll(ctx, sel, Options{}, 2, nil)
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("%d experiments ran after cancel, want 0", got)
+	}
+	for i, oc := range results {
+		if oc.Err == nil || !errors.Is(oc.Err, runctl.ErrCancelled) {
+			t.Fatalf("slot %d: error %v, want ErrCancelled", i, oc.Err)
+		}
+		if oc.Exp.Name != sel[i].Name {
+			t.Fatalf("slot %d holds %s, want %s", i, oc.Exp.Name, sel[i].Name)
+		}
+	}
+}
+
+// A cancel landing mid-suite fails everything still queued without starting
+// it: only the experiments that held a slot before the cancel ever run, and
+// the scheduling gauges return to zero.
+func TestRunAllCancelMidSuiteDrainsQueueFast(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var runs atomic.Int64
+	release := make(chan struct{})
+	running := make(chan struct{}, 16)
+	sel := make([]Experiment, 6)
+	for i := range sel {
+		sel[i] = Experiment{
+			Name: fmt.Sprintf("fake%d", i),
+			Run: func(Options) (*stats.Report, error) {
+				runs.Add(1)
+				running <- struct{}{}
+				<-release
+				return stats.NewReport("fake"), nil
+			},
+		}
+	}
+	done := make(chan []Outcome, 1)
+	go func() { done <- RunAll(ctx, sel, Options{}, 2, nil) }()
+	<-running
+	<-running // both slots busy, four experiments queued
+	cancel()
+	close(release)
+	results := <-done
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("%d experiments ran, want exactly the 2 in flight at cancel", got)
+	}
+	cancelled := 0
+	for _, oc := range results {
+		if oc.Err != nil && errors.Is(oc.Err, runctl.ErrCancelled) {
+			cancelled++
+		}
+	}
+	if cancelled < 4 {
+		t.Fatalf("%d experiments cancelled, want at least the 4 queued", cancelled)
+	}
+	snap := reg.Snapshot()
+	for _, g := range []string{"exp_queued", "exp_inflight"} {
+		if v := snap[g]; v != 0 {
+			t.Fatalf("%s = %v after suite end, want 0", g, v)
 		}
 	}
 }

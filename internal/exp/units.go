@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"explink/internal/runctl"
+)
+
+// Unit is one schedulable shard of an experiment suite: the granularity the
+// sweep fabric leases to workers. A unit is currently one registered
+// experiment — the natural shard, because every experiment is independent
+// (they share work only through the content-addressed placement store, which
+// deduplicates across units wherever they run) and because suite output is
+// assembled per experiment, so per-experiment shards merge back into a
+// report byte-identical to a local run by construction. Finer decomposition
+// (sweep points, saturation probes) would slot in here as additional Units
+// whose results a merge step folds into one Outcome.
+type Unit struct {
+	// Seq is the unit's position in the suite's registry-order result list;
+	// merged outcomes land at out[Seq].
+	Seq int
+	// Exp is the experiment this unit runs.
+	Exp Experiment
+}
+
+// DecomposeSuite splits a selected suite into leasable units in registry
+// order. The decomposition is deterministic: the same selection always
+// yields the same unit list with the same sequence numbers, which is what
+// lets a checkpoint journal name units by Seq across coordinator restarts.
+func DecomposeSuite(sel []Experiment) []Unit {
+	units := make([]Unit, len(sel))
+	for i, e := range sel {
+		units[i] = Unit{Seq: i, Exp: e}
+	}
+	return units
+}
+
+// RunUnit executes one unit with the same scheduling path RunAll uses for a
+// whole suite (a one-experiment pool), so a unit run on a remote worker
+// reports the same outcome shape — and the same cancellation contract — as
+// the experiment would have locally.
+func RunUnit(ctx context.Context, u Unit, opts Options) Outcome {
+	return RunAll(ctx, []Experiment{u.Exp}, opts, 1, nil)[0]
+}
+
+// MergeOutcomes assembles per-unit outcomes back into the registry-order
+// slice RunAll would have produced locally. Units without a result (the
+// suite was abandoned before they completed) fail with an error matching
+// runctl.ErrCancelled, mirroring how a cancelled local suite fills its
+// unstarted slots.
+func MergeOutcomes(units []Unit, got map[int]Outcome) []Outcome {
+	out := make([]Outcome, len(units))
+	for i, u := range units {
+		if oc, ok := got[u.Seq]; ok {
+			oc.Exp = u.Exp
+			out[i] = oc
+			continue
+		}
+		out[i] = Outcome{Exp: u.Exp, Err: fmt.Errorf("unit %d (%s) never completed: %w", u.Seq, u.Exp.Name, runctl.ErrCancelled)}
+	}
+	return out
+}

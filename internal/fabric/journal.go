@@ -1,0 +1,155 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"explink/internal/api"
+	"explink/internal/runctl"
+)
+
+// The checkpoint journal is an append-only JSON-lines file: one header line
+// naming the suite (fingerprint + human-readable spec), then one line per
+// completed unit. Append ordering is completion order, not unit order — the
+// merge step reorders by Seq. Durability is per-line: every append is
+// followed by a Sync, so a coordinator killed between units loses at most
+// the unit completing at that instant (which a restart simply re-leases). A
+// torn final line — the kill landing mid-write — is detected by JSON parse
+// failure and dropped on load.
+
+// journalHeader is the first line of a journal file.
+type journalHeader struct {
+	Version     string   `json:"version"`
+	Fingerprint string   `json:"fingerprint"`
+	Experiments []string `json:"experiments"`
+	Quick       bool     `json:"quick,omitempty"`
+	Seed        uint64   `json:"seed"`
+	Replicas    int      `json:"replicas"`
+}
+
+// journalEntry is one completed unit. Exactly one of Report or Error is set
+// (the same invariant as api.WorkCompleteRequest, which it mirrors).
+type journalEntry struct {
+	Seq     int             `json:"seq"`
+	Name    string          `json:"name"`
+	Seconds float64         `json:"seconds,omitempty"`
+	Report  json.RawMessage `json:"report,omitempty"`
+	Error   *api.ErrorBody  `json:"error,omitempty"`
+}
+
+// journal is the coordinator's checkpoint writer. A nil journal (no -journal
+// flag) makes every method a no-op: the campaign still runs, it just cannot
+// resume.
+type journal struct {
+	f *os.File
+}
+
+// openJournal opens or creates the checkpoint at path and returns the
+// already-completed entries. A fresh file gets the suite header; an existing
+// file must carry a matching fingerprint — a journal from a different suite
+// (or fabric generation) is a config error, never silently merged. Corrupt
+// trailing lines (a coordinator killed mid-append) are dropped; corrupt
+// interior lines are skipped the same way, costing only a re-run of those
+// units.
+func openJournal(path string, suite Suite) (*journal, []journalEntry, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fabric: journal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: journal: %w", err)
+	}
+	j := &journal{f: f}
+	if info.Size() == 0 {
+		hdr := journalHeader{
+			Version:     fabricVersion,
+			Fingerprint: suite.Fingerprint(),
+			Experiments: suite.Experiments,
+			Quick:       suite.Quick,
+			Seed:        suite.Seed,
+			Replicas:    suite.Replicas,
+		}
+		if err := j.appendLine(hdr); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 32<<20)
+	if !sc.Scan() {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: journal %s: unreadable header: %w", path, runctl.ErrConfig)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: journal %s: corrupt header: %v: %w", path, err, runctl.ErrConfig)
+	}
+	if hdr.Fingerprint != suite.Fingerprint() {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: journal %s records a different suite (fingerprint %.12s, want %.12s): %w",
+			path, hdr.Fingerprint, suite.Fingerprint(), runctl.ErrConfig)
+	}
+	var entries []journalEntry
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn or corrupt line: drop, the unit re-runs
+		}
+		if e.Seq < 0 || e.Seq >= len(suite.Experiments) || suite.Experiments[e.Seq] != e.Name {
+			continue // entry does not match the suite layout: drop
+		}
+		if (len(e.Report) == 0) == (e.Error == nil) {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fabric: journal %s: %w", path, err)
+	}
+	return j, entries, nil
+}
+
+// append records one completed unit and syncs it to disk.
+func (j *journal) append(e journalEntry) error {
+	if j == nil {
+		return nil
+	}
+	return j.appendLine(e)
+}
+
+func (j *journal) appendLine(v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("fabric: journal: %w", err)
+	}
+	if _, err := j.f.Write(append(buf, '\n')); err != nil {
+		return fmt.Errorf("fabric: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fabric: journal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -64,7 +64,7 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: a free slot, no queueing.
 	select {
 	case g.sem <- struct{}{}:
-		return g.release, nil
+		return g.admit()
 	default:
 	}
 	g.mu.Lock()
@@ -81,11 +81,26 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 	}()
 	select {
 	case g.sem <- struct{}{}:
-		return g.release, nil
+		return g.admit()
 	case <-g.drainCh:
 		return nil, ErrDraining
 	case <-ctx.Done():
 		return nil, runctl.Cancelled(ctx)
+	}
+}
+
+// admit finalizes a successful semaphore acquisition. When the drain channel
+// closed concurrently with the acquire, the select above picks an arm at
+// random — a queued waiter could win the slot against an already-begun drain
+// and be admitted in violation of the drain contract. Re-checking here makes
+// the drain decisive: the slot is given back and the caller is rejected.
+func (g *gate) admit() (func(), error) {
+	select {
+	case <-g.drainCh:
+		<-g.sem
+		return nil, ErrDraining
+	default:
+		return g.release, nil
 	}
 }
 
@@ -123,15 +138,19 @@ func (g *gate) inflight() int { return len(g.sem) }
 
 // limiter is a per-client token-bucket rate limiter: each client key gets
 // `rate` requests per second with a burst allowance, lazily instantiated.
-// Stale buckets are evicted once the table grows past limiterMaxClients so a
-// scan of spoofed client ids cannot grow memory without bound.
+// The table is hard-capped at limiterMaxClients: inserting a new key at the
+// cap first tries a full stale-bucket scan (at most once per
+// limiterScanEvery, so a spoofed-client flood cannot buy an O(n) walk per
+// request), then falls back to evicting the least-recently-seen bucket of a
+// small random sample — the map never grows past the cap.
 type limiter struct {
 	rate  float64 // tokens per second; <= 0 disables the limiter
 	burst float64
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
-	now     func() time.Time // injectable clock for tests
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	lastScan time.Time        // last full evictStale walk
+	now      func() time.Time // injectable clock for tests
 }
 
 type bucket struct {
@@ -139,7 +158,16 @@ type bucket struct {
 	last   time.Time
 }
 
-const limiterMaxClients = 4096
+const (
+	limiterMaxClients = 4096
+	// limiterScanEvery spaces full O(n) stale scans; between scans the cap is
+	// held by O(1) sampled eviction.
+	limiterScanEvery = time.Second
+	// limiterEvictSample is how many map entries the fallback eviction
+	// inspects; Go's randomized map iteration order makes this an approximate
+	// LRU draw (the Redis approach) at constant cost.
+	limiterEvictSample = 8
+)
 
 func newLimiter(ratePerSec float64, burst int) *limiter {
 	if burst < 1 {
@@ -165,7 +193,16 @@ func (l *limiter) allow(key string) bool {
 	b, ok := l.buckets[key]
 	if !ok {
 		if len(l.buckets) >= limiterMaxClients {
-			l.evictStale(now)
+			if now.Sub(l.lastScan) >= limiterScanEvery {
+				l.evictStale(now)
+				l.lastScan = now
+			}
+			// The scan may find nothing idle (a flood of fresh spoofed keys);
+			// the cap is enforced regardless by evicting an approximately
+			// least-recently-seen bucket.
+			for len(l.buckets) >= limiterMaxClients {
+				l.evictOldestSampled()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.buckets[key] = b
@@ -190,5 +227,27 @@ func (l *limiter) evictStale(now time.Time) {
 		if now.Sub(b.last) > idle {
 			delete(l.buckets, k)
 		}
+	}
+}
+
+// evictOldestSampled deletes the bucket with the oldest last-seen time among
+// a limiterEvictSample-sized draw of the table (the whole table when
+// smaller). Called with l.mu held on a non-empty table.
+func (l *limiter) evictOldestSampled() {
+	var (
+		victim string
+		oldest time.Time
+		seen   int
+	)
+	for k, b := range l.buckets {
+		if seen == 0 || b.last.Before(oldest) {
+			victim, oldest = k, b.last
+		}
+		if seen++; seen >= limiterEvictSample {
+			break
+		}
+	}
+	if seen > 0 {
+		delete(l.buckets, victim)
 	}
 }

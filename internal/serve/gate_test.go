@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGateDrainRejectRace pins the drain contract under the exact race the
+// old code lost: a queued waiter whose semaphore slot and the drain channel
+// become ready at the same moment. Once beginDrain has returned, no waiter
+// may be admitted — the select's random arm choice must not leak a slot past
+// the drain. Run with -race; 200 iterations make the unfixed 50/50 arm pick
+// fail with overwhelming probability.
+func TestGateDrainRejectRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		g := newGate(1, 4)
+		rel, err := g.acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitErr := make(chan error, 1)
+		go func() {
+			_, err := g.acquire(context.Background())
+			waitErr <- err
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for g.queued() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never queued")
+			}
+			time.Sleep(time.Microsecond)
+		}
+		// Drain first, then free the slot: both select arms are now ready
+		// while the drain has definitely begun, so admission is a violation.
+		g.beginDrain()
+		rel()
+		if err := <-waitErr; !errors.Is(err, ErrDraining) {
+			t.Fatalf("iteration %d: queued waiter admitted after drain began: %v", i, err)
+		}
+		if g.inflight() != 0 {
+			t.Fatalf("iteration %d: rejected waiter kept its slot", i)
+		}
+	}
+}
+
+// TestGateDrainFastPathRace covers the unqueued flavour of the same race:
+// an acquirer that passes the initial drain check, then races beginDrain to
+// the free slot. Whatever the interleaving, an acquirer that loses must get
+// ErrDraining and the slot must end free.
+func TestGateDrainFastPathRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		g := newGate(1, 0)
+		start := make(chan struct{})
+		got := make(chan error, 1)
+		go func() {
+			<-start
+			rel, err := g.acquire(context.Background())
+			if err == nil {
+				rel()
+			}
+			got <- err
+		}()
+		go func() {
+			<-start
+			g.beginDrain()
+		}()
+		close(start)
+		err := <-got
+		if err != nil && !errors.Is(err, ErrDraining) {
+			t.Fatalf("iteration %d: unexpected error %v", i, err)
+		}
+		if g.inflight() != 0 {
+			t.Fatalf("iteration %d: slot leaked (admitted=%v)", i, err == nil)
+		}
+	}
+}
+
+// TestLimiterCapUnderFreshFlood pins the cap against the spoofed-client scan
+// the old code lost to: every bucket fresh (nothing for evictStale to drop),
+// new keys arriving faster than the scan interval. The table must never grow
+// past limiterMaxClients.
+func TestLimiterCapUnderFreshFlood(t *testing.T) {
+	l := newLimiter(100, 1)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < limiterMaxClients+512; i++ {
+		l.allow(fmt.Sprintf("spoof-%d", i))
+		// Advance by far less than the idle threshold: every bucket stays
+		// fresh, so only the sampled-eviction fallback can hold the cap.
+		now = now.Add(time.Microsecond)
+		if n := len(l.buckets); n > limiterMaxClients {
+			t.Fatalf("bucket table grew past the cap: %d after %d keys", n, i+1)
+		}
+	}
+	if n := len(l.buckets); n != limiterMaxClients {
+		t.Fatalf("table below cap after flood: %d", n)
+	}
+}
+
+// TestLimiterCapConcurrent hammers the limiter with distinct keys from many
+// goroutines (run with -race): the cap must hold and no internal state may
+// race.
+func TestLimiterCapConcurrent(t *testing.T) {
+	l := newLimiter(100, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2*limiterMaxClients/8; i++ {
+				l.allow(fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(l.buckets); n > limiterMaxClients {
+		t.Fatalf("bucket table grew past the cap under concurrency: %d", n)
+	}
+}

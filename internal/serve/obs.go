@@ -8,7 +8,7 @@ import (
 
 // serveOps are the request kinds the server instruments; pre-registering
 // every (series, label) pair keeps the hot path free of registry lookups.
-var serveOps = []string{"solve", "eval", "sim", "exp", "stdio"}
+var serveOps = []string{"solve", "eval", "sim", "exp", "pareto", "stdio", "work"}
 
 // rejectReasons are the admission-failure classes (see reasonOf); "" —
 // client disconnected while queued — is counted as "cancelled".

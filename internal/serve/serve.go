@@ -57,6 +57,20 @@ type Config struct {
 	// Events, when non-nil, receives server lifecycle events (server.start,
 	// request.finish, server.drain) as JSON lines.
 	Events *obs.EventWriter
+	// Coordinator, when non-nil, mounts the sweep-fabric work endpoints
+	// (POST /v1/work/lease, /v1/work/heartbeat, /v1/work/complete) backed by
+	// it. See internal/fabric.
+	Coordinator WorkCoordinator
+}
+
+// WorkCoordinator is the sweep-fabric surface a server can host: the
+// lease/heartbeat/complete triple of internal/fabric's Coordinator. Declared
+// here as an interface so the serve layer stays ignorant of fabric's
+// internals (the dependency points fabric→serve at the binary level only).
+type WorkCoordinator interface {
+	Lease(ctx context.Context, worker string) (api.WorkLeaseResponse, error)
+	Heartbeat(ctx context.Context, lease string) (api.WorkHeartbeatResponse, error)
+	Complete(ctx context.Context, req api.WorkCompleteRequest) (api.WorkCompleteResponse, error)
 }
 
 // Server is the placement-as-a-service engine behind cmd/explinkd. Create
@@ -104,6 +118,50 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /"+api.SchemaVersion+"/exp", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, "exp") })
 	s.mux.HandleFunc("POST /"+api.SchemaVersion+"/pareto", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, "pareto") })
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Coordinator != nil {
+		coord := cfg.Coordinator
+		// Work RPCs bypass the gate and limiter on purpose: they are cheap
+		// coordinator bookkeeping, and a heartbeat queued behind heavy solve
+		// admission would expire the very lease it is trying to keep alive.
+		// They also stay open during drain, so workers can hand back their
+		// in-flight units as cancelled completions instead of timing out.
+		s.mux.HandleFunc("POST /"+api.SchemaVersion+"/work/lease", func(w http.ResponseWriter, r *http.Request) {
+			s.met.request("work")
+			var req api.WorkLeaseRequest
+			if err := s.decodeWork(w, r, &req); err != nil {
+				return
+			}
+			req.Normalize()
+			if err := req.Validate(); err != nil {
+				s.writeError(w, "work", err)
+				return
+			}
+			resp, err := coord.Lease(r.Context(), req.Worker)
+			s.writeWork(w, resp, err)
+		})
+		s.mux.HandleFunc("POST /"+api.SchemaVersion+"/work/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+			s.met.request("work")
+			var req api.WorkHeartbeatRequest
+			if err := s.decodeWork(w, r, &req); err != nil {
+				return
+			}
+			if err := req.Validate(); err != nil {
+				s.writeError(w, "work", err)
+				return
+			}
+			resp, err := coord.Heartbeat(r.Context(), req.Lease)
+			s.writeWork(w, resp, err)
+		})
+		s.mux.HandleFunc("POST /"+api.SchemaVersion+"/work/complete", func(w http.ResponseWriter, r *http.Request) {
+			s.met.request("work")
+			var req api.WorkCompleteRequest
+			if err := s.decodeWork(w, r, &req); err != nil {
+				return
+			}
+			resp, err := coord.Complete(r.Context(), req)
+			s.writeWork(w, resp, err)
+		})
+	}
 	if cfg.Reg != nil {
 		reg := cfg.Reg
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -404,6 +462,35 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		w.Header().Set("X-Explink-Sanitized", strings.Join(notes, "; "))
 	}
 	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+// decodeWork reads a bounded work-RPC body, answering the config error
+// itself; the caller just returns on non-nil.
+func (s *Server) decodeWork(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := decodeBody(r.Body, v); err != nil {
+		s.writeError(w, "work", err)
+		return err
+	}
+	return nil
+}
+
+// writeWork answers one work RPC: coordinator errors follow the standard
+// error surface, successes encode with json.Marshal (not the sanitizer — a
+// completion echoes no floats that could be non-finite, and lease responses
+// must round-trip the unit exactly).
+func (s *Server) writeWork(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		s.writeError(w, "work", err)
+		return
+	}
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, "work", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(buf, '\n'))
 }
 

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"explink/internal/api"
+	"explink/internal/runctl"
+)
+
+// stubCoordinator implements WorkCoordinator with canned behaviour, so the
+// endpoint plumbing is testable without pulling internal/fabric into serve's
+// dependency graph (the fabric end-to-end HTTP tests live in fabric).
+type stubCoordinator struct {
+	leases     int
+	heartbeats int
+	completes  []api.WorkCompleteRequest
+}
+
+func (s *stubCoordinator) Lease(_ context.Context, worker string) (api.WorkLeaseResponse, error) {
+	s.leases++
+	if worker == "reject-me" {
+		return api.WorkLeaseResponse{}, fmt.Errorf("no units for you: %w", runctl.ErrConfig)
+	}
+	return api.WorkLeaseResponse{
+		Status:     api.WorkStatusUnit,
+		Unit:       &api.WorkUnit{Seq: 3, Name: "fig10", Quick: true, Seed: 1, Replicas: 1},
+		Lease:      "lease-1",
+		TTLSeconds: 15,
+		SuiteID:    "deadbeef",
+	}, nil
+}
+
+func (s *stubCoordinator) Heartbeat(context.Context, string) (api.WorkHeartbeatResponse, error) {
+	s.heartbeats++
+	return api.WorkHeartbeatResponse{Status: api.WorkStatusOK, TTLSeconds: 15}, nil
+}
+
+func (s *stubCoordinator) Complete(_ context.Context, req api.WorkCompleteRequest) (api.WorkCompleteResponse, error) {
+	if err := req.Validate(); err != nil {
+		return api.WorkCompleteResponse{}, err
+	}
+	s.completes = append(s.completes, req)
+	return api.WorkCompleteResponse{Status: api.WorkStatusAccepted, Done: true}, nil
+}
+
+func TestWorkEndpoints(t *testing.T) {
+	coord := &stubCoordinator{}
+	_, ts := newTestServer(t, Config{Coordinator: coord})
+
+	// Lease: the unit round-trips exactly.
+	code, buf := post(t, ts.URL+"/v1/work/lease", `{"worker":"w0"}`)
+	if code != http.StatusOK {
+		t.Fatalf("lease status = %d: %s", code, buf)
+	}
+	var lease api.WorkLeaseResponse
+	if err := json.Unmarshal(buf, &lease); err != nil {
+		t.Fatal(err)
+	}
+	if lease.Status != api.WorkStatusUnit || lease.Unit == nil || lease.Unit.Seq != 3 || !lease.Unit.Quick {
+		t.Fatalf("lease response = %+v", lease)
+	}
+
+	// Coordinator errors surface with their taxonomy status (config = 400).
+	code, buf = post(t, ts.URL+"/v1/work/lease", `{"worker":"reject-me"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("rejected lease status = %d: %s", code, buf)
+	}
+
+	// Malformed bodies are config errors before the coordinator sees them.
+	code, _ = post(t, ts.URL+"/v1/work/lease", `{"worker":"w0","typo":1}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown-field lease status = %d", code)
+	}
+	code, _ = post(t, ts.URL+"/v1/work/heartbeat", `{}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("lease-less heartbeat status = %d", code)
+	}
+	code, _ = post(t, ts.URL+"/v1/work/complete", `{"seq":0,"name":"fig10"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("report-less completion status = %d", code)
+	}
+	if len(coord.completes) != 0 {
+		t.Fatalf("invalid completion reached the coordinator: %+v", coord.completes)
+	}
+
+	// A valid completion lands with its raw report intact.
+	code, buf = post(t, ts.URL+"/v1/work/complete", `{"lease":"lease-1","seq":3,"name":"fig10","report":{"name":"fig10","tables":null}}`)
+	if code != http.StatusOK {
+		t.Fatalf("complete status = %d: %s", code, buf)
+	}
+	var comp api.WorkCompleteResponse
+	if err := json.Unmarshal(buf, &comp); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Status != api.WorkStatusAccepted || !comp.Done {
+		t.Fatalf("complete response = %+v", comp)
+	}
+	if len(coord.completes) != 1 || string(coord.completes[0].Report) != `{"name":"fig10","tables":null}` {
+		t.Fatalf("completion payload = %+v", coord.completes)
+	}
+}
+
+// TestWorkEndpointsBypassDrain pins the design choice that work RPCs stay
+// open during drain: a draining coordinator host must still accept the
+// cancelled completions its workers hand back.
+func TestWorkEndpointsBypassDrain(t *testing.T) {
+	coord := &stubCoordinator{}
+	srv, ts := newTestServer(t, Config{Coordinator: coord})
+	srv.BeginDrain()
+
+	code, _ := post(t, ts.URL+"/v1/work/heartbeat", `{"lease":"lease-1"}`)
+	if code != http.StatusOK {
+		t.Fatalf("heartbeat during drain = %d, want 200", code)
+	}
+	code, _ = post(t, ts.URL+"/v1/work/complete", `{"seq":3,"name":"fig10","error":{"kind":"cancelled","message":"drained"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("completion during drain = %d, want 200", code)
+	}
+	if len(coord.completes) != 1 {
+		t.Fatal("drained completion never reached the coordinator")
+	}
+
+	// The ordinary request surface still refuses (the gate is draining).
+	code, _ = post(t, ts.URL+"/v1/solve", `{"n":6,"c":2}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain = %d, want 503", code)
+	}
+}
+
+// TestWorkEndpointsAbsentWithoutCoordinator pins that a plain explinkd (no
+// fabric) does not expose the work surface.
+func TestWorkEndpointsAbsentWithoutCoordinator(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, _ := post(t, ts.URL+"/v1/work/lease", `{}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("work endpoint without coordinator = %d, want 404", code)
+	}
+}
